@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The default
+scale is reduced so the whole harness completes in minutes of pure Python;
+set ``REPRO_BENCH_SCALE`` (e.g. ``10``) and ``REPRO_BENCH_SEEDS`` (e.g. ``10``)
+to approach paper-sized instances.  Each benchmark prints the regenerated
+rows/series so the output can be compared with the paper side by side (the
+same data is summarised in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import bench_scale
+from repro.benchgen.queko import generate_queko_circuit
+from repro.hardware.backends import ankaa3, grid_9x9, sherbrooke, sherbrooke_2x
+from repro.hardware.topologies import grid_topology
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """Start every benchmark session with an empty results record."""
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_FILE.write_text("")
+    yield
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Benchmark scale resolved from the environment."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def sherbrooke_backend():
+    return sherbrooke()
+
+
+@pytest.fixture(scope="session")
+def ankaa_backend():
+    return ankaa3()
+
+
+@pytest.fixture(scope="session")
+def sherbrooke_2x_backend():
+    return sherbrooke_2x()
+
+
+@pytest.fixture(scope="session")
+def queko_generation_grid():
+    """The 54-qubit-class generation device used for the reduced-scale QUEKO sets."""
+    return grid_topology(6, 9, name="sycamore-54-grid")
+
+
+def make_queko_set(device, depths, seeds, seed_base=0, prefix="queko"):
+    """Generate a small QUEKO set (list of QuekoCircuit) for the benchmarks."""
+    instances = []
+    for depth in depths:
+        for index in range(seeds):
+            instances.append(
+                generate_queko_circuit(
+                    device,
+                    depth,
+                    seed=seed_base + depth * 37 + index,
+                    name=f"{prefix}-d{depth}-{index}",
+                )
+            )
+    return instances
+
+
+RESULTS_FILE = Path(__file__).parent / "results" / "latest.txt"
+
+
+def print_table(title, text):
+    """Print a regenerated table and append it to ``benchmarks/results/latest.txt``.
+
+    pytest captures stdout of passing tests, so the results file is the
+    durable record of every regenerated table/series (EXPERIMENTS.md is
+    written from it); run with ``-s`` to also see the tables live.
+    """
+    banner = "\n".join(["", "=" * 72, title, "=" * 72, text, ""])
+    print(banner)
+    RESULTS_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with RESULTS_FILE.open("a") as handle:
+        handle.write(banner + "\n")

@@ -1,0 +1,70 @@
+"""Figures 6 and 7: per-depth SWAP and depth series on Sherbrooke and Ankaa-3.
+
+Each figure in the paper plots, per mapper, the SWAP count (top row) and the
+final circuit depth (bottom row) against the initial (optimal) circuit depth
+of the QUEKO instances.  The benchmark regenerates both series at reduced
+scale and asserts the headline observation of Sec. VI-C: averaged over the
+dataset, Qlosure inserts the fewest SWAPs and produces the shallowest (or
+tied-shallowest) circuits of all mappers on both back-ends.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import queko_series
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import print_table
+from benchmarks.queko_fixtures import queko_records
+
+
+def _series_table(series):
+    depths = sorted({depth for per_depth in series.values() for depth in per_depth})
+    headers = ["mapper"] + [f"d={d}" for d in depths]
+    swap_rows = []
+    depth_rows = []
+    for mapper, per_depth in sorted(series.items()):
+        swap_rows.append(
+            [mapper] + [per_depth.get(d, {}).get("swaps", "-") for d in depths]
+        )
+        depth_rows.append(
+            [mapper] + [per_depth.get(d, {}).get("depth", "-") for d in depths]
+        )
+    return (
+        format_table(headers, swap_rows, title="SWAP count vs initial depth"),
+        format_table(headers, depth_rows, title="Routed depth vs initial depth"),
+    )
+
+
+def _check_qlosure_wins(records):
+    swaps = {}
+    depths = {}
+    for record in records:
+        swaps.setdefault(record.mapper_name, []).append(record.swaps)
+        depths.setdefault(record.mapper_name, []).append(record.routed_depth)
+    mean_swaps = {m: statistics.mean(v) for m, v in swaps.items()}
+    mean_depths = {m: statistics.mean(v) for m, v in depths.items()}
+    best_other_swaps = min(v for m, v in mean_swaps.items() if m != "qlosure")
+    best_other_depth = min(v for m, v in mean_depths.items() if m != "qlosure")
+    assert mean_swaps["qlosure"] <= best_other_swaps * 1.05
+    assert mean_depths["qlosure"] <= best_other_depth * 1.10
+    return mean_swaps, mean_depths
+
+
+def test_fig6_sherbrooke_queko_series(benchmark):
+    records, _ = benchmark.pedantic(
+        lambda: queko_records("sherbrooke"), rounds=1, iterations=1
+    )
+    swap_table, depth_table = _series_table(queko_series(records))
+    print_table("Figure 6 (reduced scale) - QUEKO on Sherbrooke", swap_table + "\n\n" + depth_table)
+    _check_qlosure_wins(records)
+
+
+def test_fig7_ankaa_queko_series(benchmark):
+    records, _ = benchmark.pedantic(
+        lambda: queko_records("ankaa3"), rounds=1, iterations=1
+    )
+    swap_table, depth_table = _series_table(queko_series(records))
+    print_table("Figure 7 (reduced scale) - QUEKO on Ankaa-3", swap_table + "\n\n" + depth_table)
+    _check_qlosure_wins(records)

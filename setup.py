@@ -1,0 +1,4 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package installed."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""Affine qubit access relations ``q = a*i + b``.
+
+QRANE groups gates whose operands follow a single affine progression in the
+macro-gate's iteration variable ``i``.  :class:`AffineAccess` captures one
+such progression and converts to the polyhedral map representation used by
+the dependence analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isl.affine import AffineExpr
+from repro.isl.basic_map import BasicMap
+from repro.isl.basic_set import BasicSet
+from repro.isl.constraint import Constraint
+from repro.isl.map_ import Map
+from repro.isl.space import Space
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """The access relation ``{[i] -> [coefficient * i + offset]}``."""
+
+    coefficient: int
+    offset: int
+
+    def qubit_at(self, iteration: int) -> int:
+        """Qubit index accessed at iteration ``iteration``."""
+        return self.coefficient * iteration + self.offset
+
+    def is_constant(self) -> bool:
+        """True when the access touches the same qubit at every iteration."""
+        return self.coefficient == 0
+
+    def to_map(self, trip_count: int, iterator: str = "i", qubit_dim: str = "q") -> Map:
+        """The access as a polyhedral map over the domain ``0 <= i < trip_count``."""
+        space = Space.map_space((iterator,), (qubit_dim,))
+        domain = BasicSet.box(Space.set_space((iterator,)), {iterator: (0, trip_count - 1)})
+        expr = AffineExpr({qubit_dim: 1, iterator: -self.coefficient}, -self.offset)
+        constraints = [Constraint(expr, is_equality=True)]
+        rename = {iterator: iterator}
+        for constraint in domain.constraints:
+            constraints.append(constraint.rename(rename))
+        return Map.from_basic(BasicMap(space, constraints))
+
+    @classmethod
+    def fit(cls, values: list[int]) -> "AffineAccess | None":
+        """Fit an affine progression to a list of qubit indices, if one exists.
+
+        A single value fits trivially (coefficient 0); two or more values fit
+        when consecutive differences are all equal.
+        """
+        if not values:
+            return None
+        if len(values) == 1:
+            return cls(0, values[0])
+        step = values[1] - values[0]
+        for previous, current in zip(values, values[1:]):
+            if current - previous != step:
+                return None
+        return cls(step, values[0])
+
+    def extends(self, values: list[int], candidate: int) -> bool:
+        """True when appending ``candidate`` keeps the progression affine."""
+        if not values:
+            return True
+        if len(values) == 1:
+            return True
+        return candidate - values[-1] == self.coefficient
+
+    def __repr__(self) -> str:
+        if self.coefficient == 0:
+            return f"{{[i] -> [{self.offset}]}}"
+        if self.coefficient == 1 and self.offset == 0:
+            return "{[i] -> [i]}"
+        sign = "+" if self.offset >= 0 else "-"
+        return f"{{[i] -> [{self.coefficient}i {sign} {abs(self.offset)}]}}"

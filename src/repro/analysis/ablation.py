@@ -1,0 +1,99 @@
+"""Ablation study of the cost-function components (Figure 8 of the paper).
+
+Four variants are compared on QUEKO circuits:
+
+a) ``distance-only`` -- geometric distance on the front layer only,
+b) ``layer-adjusted`` -- adds the layered look-ahead with 1/l discounts,
+c) ``dependency-weighted`` -- adds the transitive dependence weights (the
+   full Qlosure cost), and
+d) ``bidirectional`` -- the full cost plus a forward/backward initial-layout
+   pass.
+
+Results are reported relative to the distance-only baseline, as in the paper
+("x% fewer SWAPs / smaller depth").
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.benchgen.queko import QuekoCircuit
+from repro.core.config import QlosureConfig
+from repro.core.mapper import QlosureMapper
+from repro.hardware.coupling import CouplingGraph
+
+
+ABLATION_VARIANTS: tuple[str, ...] = (
+    "distance-only",
+    "layer-adjusted",
+    "dependency-weighted",
+    "bidirectional",
+)
+
+
+def _mapper_for_variant(variant: str, backend: CouplingGraph) -> QlosureMapper:
+    if variant == "distance-only":
+        return QlosureMapper(backend, config=QlosureConfig.distance_only())
+    if variant == "layer-adjusted":
+        return QlosureMapper(backend, config=QlosureConfig.layer_adjusted())
+    if variant == "dependency-weighted":
+        return QlosureMapper(backend, config=QlosureConfig.dependency_weighted())
+    if variant == "bidirectional":
+        return QlosureMapper(
+            backend, config=QlosureConfig.dependency_weighted(), bidirectional_passes=1
+        )
+    raise KeyError(f"unknown ablation variant {variant!r}; choose from {ABLATION_VARIANTS}")
+
+
+@dataclass
+class AblationResult:
+    """Aggregated ablation outcome."""
+
+    backend_name: str
+    per_variant: dict[str, dict[str, float]] = field(default_factory=dict)
+    relative_to_baseline: dict[str, dict[str, float]] = field(default_factory=dict)
+    per_circuit: dict[str, dict[str, dict[str, int]]] = field(default_factory=dict)
+
+    def improvement(self, variant: str, metric: str) -> float:
+        """Percentage improvement of ``variant`` over distance-only for ``metric``."""
+        return self.relative_to_baseline.get(variant, {}).get(metric, 0.0)
+
+
+def ablation_study(
+    circuits: list[QuekoCircuit],
+    backend: CouplingGraph,
+    variants: tuple[str, ...] = ABLATION_VARIANTS,
+    baseline_variant: str = "distance-only",
+) -> AblationResult:
+    """Run every ablation variant on every circuit and aggregate the results."""
+    result = AblationResult(backend_name=backend.name)
+    raw: dict[str, list[tuple[int, int]]] = {variant: [] for variant in variants}
+    for variant in variants:
+        mapper = _mapper_for_variant(variant, backend)
+        for instance in circuits:
+            mapped = mapper.map(instance.circuit)
+            raw[variant].append((mapped.swaps_added, mapped.routed_depth))
+            result.per_circuit.setdefault(instance.name, {})[variant] = {
+                "swaps": mapped.swaps_added,
+                "depth": mapped.routed_depth,
+            }
+    for variant, values in raw.items():
+        result.per_variant[variant] = {
+            "swaps": round(statistics.mean(v[0] for v in values), 2),
+            "depth": round(statistics.mean(v[1] for v in values), 2),
+        }
+    baseline = result.per_variant.get(baseline_variant)
+    if baseline:
+        for variant, values in result.per_variant.items():
+            result.relative_to_baseline[variant] = {
+                "swaps": round(
+                    100.0 * (baseline["swaps"] - values["swaps"]) / max(baseline["swaps"], 1e-9),
+                    2,
+                ),
+                "depth": round(
+                    100.0 * (baseline["depth"] - values["depth"]) / max(baseline["depth"], 1e-9),
+                    2,
+                ),
+            }
+    return result

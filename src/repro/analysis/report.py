@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results (tables printed by the harness)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple aligned text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_records(records: Iterable) -> str:
+    """Render a list of :class:`~repro.analysis.experiments.ComparisonRecord`."""
+    records = list(records)
+    headers = [
+        "circuit",
+        "backend",
+        "mapper",
+        "qops",
+        "init depth",
+        "swaps",
+        "depth",
+        "time (s)",
+    ]
+    rows = [
+        [
+            r.circuit_name,
+            r.backend_name,
+            r.mapper_name,
+            r.qops,
+            r.initial_depth,
+            r.swaps,
+            r.routed_depth,
+            f"{r.runtime_seconds:.3f}",
+        ]
+        for r in records
+    ]
+    return format_table(headers, rows)
+
+
+def render_nested_table(
+    data: Mapping[str, Mapping[str, object]], row_label: str = "mapper", title: str = ""
+) -> str:
+    """Render ``{row: {column: value}}`` dictionaries (Tables II-IV style)."""
+    columns: list[str] = []
+    for row in data.values():
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    headers = [row_label] + columns
+    rows = [[name] + [row.get(column, "-") for column in columns] for name, row in data.items()]
+    return format_table(headers, rows, title)

@@ -1,0 +1,106 @@
+"""Mapping-time scaling data (Figure 5 of the paper).
+
+The paper shows that Qlosure's mapping time grows near-linearly with the
+number of quantum operations (QOPs).  :func:`mapping_time_scaling` measures
+the mapping time of a mapper over a ladder of circuit sizes and fits a simple
+least-squares line whose quality (R^2) quantifies "near-linear".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.benchgen.queko import generate_queko_circuit
+from repro.circuit.metrics import total_operations
+from repro.core.mapper import QlosureMapper
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.engine import RoutingEngine
+
+
+@dataclass
+class ScalingPoint:
+    """One (QOPs, mapping time) measurement."""
+
+    qops: int
+    seconds: float
+    depth: int
+    swaps: int
+
+
+@dataclass
+class ScalingResult:
+    """The measured scaling series plus its linear fit."""
+
+    backend_name: str
+    mapper_name: str
+    points: list[ScalingPoint]
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def as_dict(self) -> dict:
+        """Flat dictionary form for reports."""
+        return {
+            "backend": self.backend_name,
+            "mapper": self.mapper_name,
+            "points": [(p.qops, round(p.seconds, 4)) for p in self.points],
+            "slope_seconds_per_qop": self.slope,
+            "r_squared": round(self.r_squared, 4),
+        }
+
+
+def _linear_fit(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return slope, intercept, r_squared
+
+
+def mapping_time_scaling(
+    backend: CouplingGraph,
+    generation_device: CouplingGraph,
+    depths: list[int],
+    mapper: object | None = None,
+    seed: int = 0,
+) -> ScalingResult:
+    """Measure mapping time versus QOPs on QUEKO circuits of increasing depth."""
+    mapper = mapper or QlosureMapper(backend)
+    mapper_name = getattr(mapper, "name", type(mapper).__name__)
+    points: list[ScalingPoint] = []
+    for index, depth in enumerate(sorted(depths)):
+        instance = generate_queko_circuit(
+            generation_device, depth, seed=seed * 9973 + index
+        )
+        start = time.perf_counter()
+        if isinstance(mapper, RoutingEngine):
+            result = mapper.run(instance.circuit)
+        else:
+            result = mapper.map(instance.circuit)
+        elapsed = time.perf_counter() - start
+        points.append(
+            ScalingPoint(
+                qops=total_operations(instance.circuit),
+                seconds=elapsed,
+                depth=result.routed_depth,
+                swaps=result.swaps_added,
+            )
+        )
+    slope, intercept, r_squared = _linear_fit(
+        [float(p.qops) for p in points], [p.seconds for p in points]
+    )
+    return ScalingResult(
+        backend_name=backend.name,
+        mapper_name=str(mapper_name),
+        points=points,
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+    )

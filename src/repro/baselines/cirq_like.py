@@ -1,0 +1,82 @@
+"""Cirq-style time-sliced greedy distance router.
+
+Google Cirq's ``route_circuit`` pass works on time slices of the circuit and
+greedily selects SWAPs that reduce the summed qubit distance of the current
+slice, with a small look-ahead over the following slice.  This reimplements
+that cost family on the shared routing engine: the current front layer plays
+the role of the active time slice, and the immediately following slice is
+considered with reduced weight.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import tentative_physical
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+
+
+class CirqLikeRouter(RoutingEngine):
+    """Time-sliced greedy router using summed qubit distance."""
+
+    name = "cirq-like"
+
+    #: Relative weight of the next time slice in the cost.
+    next_slice_weight = 0.4
+    #: Maximum number of gates from the next slice taken into account.
+    next_slice_size = 8
+
+    def __init__(self, coupling: CouplingGraph, seed: int = 0):
+        super().__init__(coupling, seed)
+        self._last_swap: tuple[int, int] | None = None
+
+    def on_circuit_start(self, state: RoutingState) -> None:
+        self._last_swap = None
+
+    def on_gate_executed(self, state: RoutingState, index: int) -> None:
+        self._last_swap = None
+
+    def on_swap_applied(self, state: RoutingState, swap: tuple[int, int]) -> None:
+        self._last_swap = swap
+
+    def _next_slice(self, state: RoutingState) -> list[int]:
+        """Two-qubit gates that become ready right after the current front layer."""
+        upcoming: list[int] = []
+        for index in sorted(state.front):
+            for successor in state.dag.successors(index):
+                if successor in state.executed:
+                    continue
+                if state.gate(successor).is_two_qubit and successor not in upcoming:
+                    upcoming.append(successor)
+                    if len(upcoming) >= self.next_slice_size:
+                        return upcoming
+        return upcoming
+
+    def select_swap(self, state: RoutingState) -> tuple[int, int]:
+        candidates = state.candidate_swaps()
+        if not candidates:
+            raise RouterError("no candidate SWAPs available")
+        front = state.unresolved_front()
+        upcoming = self._next_slice(state)
+        best_cost = float("inf")
+        best: list[tuple[int, int]] = []
+        for candidate in candidates:
+            cost = 0.0
+            for index in front:
+                gate = state.gate(index)
+                p1 = tentative_physical(state, gate.qubits[0], candidate)
+                p2 = tentative_physical(state, gate.qubits[1], candidate)
+                cost += state.distance[p1][p2]
+            for index in upcoming:
+                gate = state.gate(index)
+                p1 = tentative_physical(state, gate.qubits[0], candidate)
+                p2 = tentative_physical(state, gate.qubits[1], candidate)
+                cost += self.next_slice_weight * state.distance[p1][p2]
+            if candidate == self._last_swap:
+                cost += 0.5
+            state.cost_evaluations += 1
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best = [candidate]
+            elif abs(cost - best_cost) <= 1e-12:
+                best.append(candidate)
+        return best[0] if len(best) == 1 else self._rng.choice(best)

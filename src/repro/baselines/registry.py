@@ -1,0 +1,60 @@
+"""Registry of mappers used by the benchmark harness and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.cirq_like import CirqLikeRouter
+from repro.baselines.greedy import GreedyDistanceRouter
+from repro.baselines.qmap_like import QmapLikeRouter
+from repro.baselines.sabre import LightSabreRouter, SabreRouter
+from repro.baselines.tket_like import TketLikeRouter
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.engine import RoutingEngine
+
+_BASELINES: dict[str, Callable[[CouplingGraph], RoutingEngine]] = {
+    "sabre": lambda coupling: SabreRouter(coupling),
+    "lightsabre": lambda coupling: LightSabreRouter(coupling),
+    "qmap": lambda coupling: QmapLikeRouter(coupling),
+    "qmap-like": lambda coupling: QmapLikeRouter(coupling),
+    "cirq": lambda coupling: CirqLikeRouter(coupling),
+    "cirq-like": lambda coupling: CirqLikeRouter(coupling),
+    "tket": lambda coupling: TketLikeRouter(coupling),
+    "tket-like": lambda coupling: TketLikeRouter(coupling),
+    "pytket": lambda coupling: TketLikeRouter(coupling),
+    "greedy": lambda coupling: GreedyDistanceRouter(coupling),
+    "greedy-distance": lambda coupling: GreedyDistanceRouter(coupling),
+}
+
+
+def available_baselines() -> list[str]:
+    """Canonical names of the baseline mappers."""
+    return ["lightsabre", "qmap", "cirq", "tket", "greedy"]
+
+
+def baseline_router(name: str, coupling: CouplingGraph) -> RoutingEngine:
+    """Instantiate a baseline router by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _BASELINES:
+        raise KeyError(f"unknown baseline {name!r}; available: {available_baselines()}")
+    return _BASELINES[key](coupling)
+
+
+def all_mappers(coupling: CouplingGraph, include_qlosure: bool = True) -> dict[str, object]:
+    """All evaluation mappers (the four paper baselines plus Qlosure).
+
+    Returns a name -> router dictionary; the Qlosure entry is a
+    :class:`~repro.core.mapper.QlosureMapper` (it exposes ``map`` rather than
+    ``run``), matching how the benchmark harness drives the mappers.
+    """
+    from repro.core.mapper import QlosureMapper
+
+    mappers: dict[str, object] = {
+        "lightsabre": LightSabreRouter(coupling),
+        "qmap": QmapLikeRouter(coupling),
+        "cirq": CirqLikeRouter(coupling),
+        "tket": TketLikeRouter(coupling),
+    }
+    if include_qlosure:
+        mappers["qlosure"] = QlosureMapper(coupling)
+    return mappers

@@ -1,0 +1,149 @@
+"""SABRE-style routing (Li et al., ASPLOS'19) and its LightSABRE refinement.
+
+SABRE splits the not-yet-executed circuit into a *front layer* ``F`` and a
+fixed-size *extended layer* ``E`` of upcoming two-qubit gates and evaluates
+candidate SWAPs with the cost::
+
+    H(s) = max(decay_q1, decay_q2) * ( sum_{g in F} D[phi_s] / |F|
+                                       + W * sum_{g in E} D[phi_s] / |E| )
+
+where ``W < 1`` weighs the look-ahead contribution and the decay factor
+discourages thrashing the same qubit.  ``LightSabreRouter`` uses the same
+cost with the release-valve behaviour of the Qiskit implementation (when the
+same front gate stays blocked for too long, SWAPs are forced along its
+shortest path) which keeps runtimes low on adversarial instances.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import tentative_physical
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+
+
+class SabreRouter(RoutingEngine):
+    """Front + extended layer SWAP selection with qubit decay."""
+
+    name = "sabre"
+
+    #: Number of two-qubit gates in the extended (look-ahead) layer.
+    extended_set_size = 20
+    #: Weight of the extended layer in the cost function.
+    extended_set_weight = 0.5
+    #: Additive decay penalty per SWAP on a qubit.
+    decay_increment = 0.001
+    #: Number of consecutive SWAPs without progress before the release valve opens.
+    release_valve_threshold = 0
+
+    def __init__(self, coupling: CouplingGraph, seed: int = 0):
+        super().__init__(coupling, seed)
+        self._decay: dict[int, float] = {}
+        self._stall_counter = 0
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_circuit_start(self, state: RoutingState) -> None:
+        self._decay = {q: 1.0 for q in range(state.circuit.num_qubits)}
+        self._stall_counter = 0
+
+    def on_gate_executed(self, state: RoutingState, index: int) -> None:
+        for qubit in self._decay:
+            self._decay[qubit] = 1.0
+        self._stall_counter = 0
+
+    def on_swap_applied(self, state: RoutingState, swap: tuple[int, int]) -> None:
+        for physical in swap:
+            logical = state.layout.logical(physical)
+            if logical is not None:
+                self._decay[logical] = self._decay.get(logical, 1.0) + self.decay_increment
+        self._stall_counter += 1
+
+    # -- cost --------------------------------------------------------------
+
+    def _extended_set(self, state: RoutingState) -> list[int]:
+        """The next ``extended_set_size`` two-qubit gates after the front layer."""
+        extended: list[int] = []
+        visited: set[int] = set()
+        frontier = sorted(state.front)
+        while frontier and len(extended) < self.extended_set_size:
+            next_frontier: list[int] = []
+            for index in frontier:
+                for successor in state.dag.successors(index):
+                    if successor in visited or successor in state.executed:
+                        continue
+                    visited.add(successor)
+                    next_frontier.append(successor)
+                    if state.gate(successor).is_two_qubit:
+                        extended.append(successor)
+                        if len(extended) >= self.extended_set_size:
+                            break
+                if len(extended) >= self.extended_set_size:
+                    break
+            frontier = next_frontier
+        return extended
+
+    def select_swap(self, state: RoutingState) -> tuple[int, int]:
+        front = state.unresolved_front()
+        if not front:
+            raise RouterError("sabre stalled with no unresolved front gates")
+
+        if (
+            self.release_valve_threshold
+            and self._stall_counter >= self.release_valve_threshold
+        ):
+            return self._release_valve_swap(state, front)
+
+        candidates = state.candidate_swaps()
+        if not candidates:
+            raise RouterError("no candidate SWAPs available")
+        extended = self._extended_set(state)
+        best_cost = float("inf")
+        best: list[tuple[int, int]] = []
+        for candidate in candidates:
+            front_cost = 0.0
+            for index in front:
+                gate = state.gate(index)
+                p1 = tentative_physical(state, gate.qubits[0], candidate)
+                p2 = tentative_physical(state, gate.qubits[1], candidate)
+                front_cost += state.distance[p1][p2]
+            front_cost /= len(front)
+            extended_cost = 0.0
+            if extended:
+                for index in extended:
+                    gate = state.gate(index)
+                    p1 = tentative_physical(state, gate.qubits[0], candidate)
+                    p2 = tentative_physical(state, gate.qubits[1], candidate)
+                    extended_cost += state.distance[p1][p2]
+                extended_cost = self.extended_set_weight * extended_cost / len(extended)
+            decay_values = []
+            for physical in candidate:
+                logical = state.layout.logical(physical)
+                decay_values.append(
+                    self._decay.get(logical, 1.0) if logical is not None else 1.0
+                )
+            cost = max(decay_values) * (front_cost + extended_cost)
+            state.cost_evaluations += 1
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best = [candidate]
+            elif abs(cost - best_cost) <= 1e-12:
+                best.append(candidate)
+        return best[0] if len(best) == 1 else self._rng.choice(best)
+
+    def _release_valve_swap(
+        self, state: RoutingState, front: list[int]
+    ) -> tuple[int, int]:
+        """Force a SWAP along the shortest path of the most blocked front gate."""
+        target = min(front, key=lambda index: state.gate_distance(index))
+        gate = state.gate(target)
+        p1 = state.layout.physical(gate.qubits[0])
+        p2 = state.layout.physical(gate.qubits[1])
+        path = self.coupling.shortest_path(p1, p2)
+        return (min(path[0], path[1]), max(path[0], path[1]))
+
+
+class LightSabreRouter(SabreRouter):
+    """LightSABRE: SABRE with the release-valve forced-progress mechanism."""
+
+    name = "lightsabre"
+    release_valve_threshold = 12

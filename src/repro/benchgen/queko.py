@@ -1,0 +1,220 @@
+"""QUEKO benchmark generator (Tan & Cong methodology).
+
+QUEKO circuits are built *on* a device coupling graph so that, by
+construction, an optimal mapper could schedule them with a known depth and
+zero SWAPs; the qubit labels are then scrambled by a random permutation so
+that a mapper starting from the identity layout has real work to do.  The
+known optimal depth makes the depth-factor metric of the paper's Table II
+meaningful.
+
+Construction, per time step ``t`` of the target depth ``T``:
+
+1. a *backbone* gate is placed that shares a qubit with the previous step's
+   backbone gate, forcing a dependence chain of length exactly ``T``;
+2. additional two-qubit gates are placed on disjoint coupling edges and
+   single-qubit gates on free qubits until the configured gate densities are
+   met (no qubit is used twice in the same step, so the step fits in one
+   cycle).
+
+The paper's custom sets are generated on dense 8-neighbour grids (9x9 and
+16x16) and then mapped onto sparser devices, which this module reproduces via
+:func:`queko_dataset`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.hardware.backends import grid_16x16, grid_9x9
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.topologies import grid_topology, ring_topology
+
+
+@dataclass
+class QuekoCircuit:
+    """A generated QUEKO instance: the scrambled circuit plus its ground truth."""
+
+    circuit: QuantumCircuit
+    optimal_depth: int
+    generation_device: str
+    seed: int
+    hidden_layout: dict[int, int] = field(default_factory=dict)
+    name: str = "queko"
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits of the generated circuit."""
+        return self.circuit.num_qubits
+
+    @property
+    def num_operations(self) -> int:
+        """Number of quantum operations (QOPs) in the circuit."""
+        return len(self.circuit)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuekoCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"optimal_depth={self.optimal_depth}, qops={self.num_operations})"
+        )
+
+
+def generate_queko_circuit(
+    device: CouplingGraph,
+    depth: int,
+    two_qubit_density: float = 0.4,
+    single_qubit_density: float = 0.2,
+    seed: int = 0,
+    scramble: bool = True,
+    name: str | None = None,
+) -> QuekoCircuit:
+    """Generate one QUEKO circuit with known optimal depth on ``device``.
+
+    Args:
+        device: coupling graph the circuit is constructed on (the circuit is
+            executable on this device with the hidden layout at exactly
+            ``depth`` cycles and zero SWAPs).
+        depth: target optimal depth ``T``.
+        two_qubit_density: target fraction of qubits participating in a
+            two-qubit gate per cycle.
+        single_qubit_density: target fraction of qubits receiving a
+            single-qubit gate per cycle.
+        seed: RNG seed (generation is deterministic given the seed).
+        scramble: apply a random qubit relabelling so the identity layout is
+            not already optimal.
+        name: optional benchmark name.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    if not 0.0 <= two_qubit_density <= 1.0 or not 0.0 <= single_qubit_density <= 1.0:
+        raise ValueError("densities must lie in [0, 1]")
+    rng = random.Random(seed)
+    n = device.num_qubits
+    edges = device.edges()
+    gates: list[Gate] = []
+    single_qubit_names = ("h", "x", "t", "s", "rz")
+
+    backbone = rng.randrange(n)
+    target_two_qubit = max(1, int(round(two_qubit_density * n / 2)))
+    target_single_qubit = int(round(single_qubit_density * n))
+
+    for _ in range(depth):
+        used: set[int] = set()
+        step_gates: list[Gate] = []
+
+        # Backbone gate: keeps the dependence chain exactly `depth` long.
+        neighbors = device.neighbors(backbone)
+        if neighbors and rng.random() < 0.85:
+            partner = rng.choice(neighbors)
+            step_gates.append(Gate("cx", (backbone, partner)))
+            used.update((backbone, partner))
+            backbone = partner if rng.random() < 0.5 else backbone
+        else:
+            step_gates.append(Gate(rng.choice(single_qubit_names), (backbone,)))
+            used.add(backbone)
+
+        # Additional two-qubit gates on disjoint edges.
+        candidate_edges = [e for e in edges if e[0] not in used and e[1] not in used]
+        rng.shuffle(candidate_edges)
+        placed_two_qubit = sum(1 for g in step_gates if g.is_two_qubit)
+        for a, b in candidate_edges:
+            if placed_two_qubit >= target_two_qubit:
+                break
+            if a in used or b in used:
+                continue
+            if rng.random() < 0.5:
+                a, b = b, a
+            step_gates.append(Gate("cx", (a, b)))
+            used.update((a, b))
+            placed_two_qubit += 1
+
+        # Single-qubit fill on remaining free qubits.
+        free = [q for q in range(n) if q not in used]
+        rng.shuffle(free)
+        for qubit in free[:target_single_qubit]:
+            step_gates.append(Gate(rng.choice(single_qubit_names), (qubit,)))
+            used.add(qubit)
+
+        rng.shuffle(step_gates)
+        gates.extend(step_gates)
+
+    # Scramble qubit labels; the hidden layout maps logical -> physical such
+    # that placing logical q on hidden_layout[q] recovers the optimal-depth
+    # schedule with zero SWAPs.
+    permutation = list(range(n))
+    if scramble:
+        rng.shuffle(permutation)
+    relabel = {physical: logical for logical, physical in enumerate(permutation)}
+    scrambled = [gate.remap(relabel) for gate in gates]
+    hidden_layout = {relabel[p]: p for p in range(n)}
+
+    circuit_name = name or f"queko-{device.name}-d{depth}-s{seed}"
+    circuit = QuantumCircuit(n, scrambled, name=circuit_name)
+    return QuekoCircuit(
+        circuit=circuit,
+        optimal_depth=depth,
+        generation_device=device.name,
+        seed=seed,
+        hidden_layout=hidden_layout,
+        name=circuit_name,
+    )
+
+
+def _aspen_16() -> CouplingGraph:
+    """A 16-qubit Rigetti Aspen-style device: two octagon rings joined by two edges."""
+    edges = [(i, (i + 1) % 8) for i in range(8)]
+    edges += [(8 + i, 8 + (i + 1) % 8) for i in range(8)]
+    edges += [(1, 14), (2, 13)]
+    return CouplingGraph(16, edges, name="aspen-16")
+
+
+def _sycamore_54() -> CouplingGraph:
+    """A 54-qubit grid stand-in for the Sycamore device QUEKO-BSS-54 targets."""
+    return grid_topology(6, 9, name="sycamore-54-grid")
+
+
+_GENERATION_DEVICES = {
+    "16qbt": _aspen_16,
+    "54qbt": _sycamore_54,
+    "81qbt": grid_9x9,
+    "256qbt": grid_16x16,
+}
+
+
+def queko_dataset(
+    size: str,
+    depths: list[int] | None = None,
+    circuits_per_depth: int = 10,
+    two_qubit_density: float = 0.4,
+    single_qubit_density: float = 0.2,
+    seed: int = 0,
+) -> list[QuekoCircuit]:
+    """Generate a QUEKO benchmark set mirroring the paper's datasets.
+
+    ``size`` is one of ``"16qbt"``, ``"54qbt"``, ``"81qbt"`` or ``"256qbt"``;
+    the default depths follow the QUEKO-BSS ladder (100..900 in steps of 100)
+    and can be overridden to run reduced-scale experiments.
+    """
+    key = size.strip().lower()
+    if key not in _GENERATION_DEVICES:
+        raise KeyError(f"unknown QUEKO size {size!r}; choose from {sorted(_GENERATION_DEVICES)}")
+    device = _GENERATION_DEVICES[key]()
+    if depths is None:
+        depths = list(range(100, 1000, 100))
+    dataset: list[QuekoCircuit] = []
+    for depth in depths:
+        for index in range(circuits_per_depth):
+            instance_seed = seed * 1_000_003 + depth * 101 + index
+            dataset.append(
+                generate_queko_circuit(
+                    device,
+                    depth,
+                    two_qubit_density=two_qubit_density,
+                    single_qubit_density=single_qubit_density,
+                    seed=instance_seed,
+                    name=f"queko-bss-{key}-d{depth}-{index}",
+                )
+            )
+    return dataset

@@ -1,0 +1,48 @@
+"""Random circuit generators for tests and property-based checks."""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float = 0.6,
+    seed: int = 0,
+    gate_names: tuple[str, ...] = ("h", "x", "t", "rz"),
+) -> QuantumCircuit:
+    """A random circuit mixing single- and two-qubit gates.
+
+    Used as a source of arbitrary-but-valid mapping inputs for property-based
+    tests: any connected device with at least ``num_qubits`` qubits must be
+    able to route the result.
+    """
+    if num_qubits < 2:
+        raise ValueError("random circuits need at least two qubits")
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_n{num_qubits}_g{num_gates}")
+    for _ in range(num_gates):
+        if rng.random() < two_qubit_fraction:
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.cx(a, b)
+        else:
+            name = rng.choice(gate_names)
+            qubit = rng.randrange(num_qubits)
+            if name == "rz":
+                circuit.rz(rng.uniform(0, 3.14), qubit)
+            else:
+                circuit.add_gate(name, qubit)
+    return circuit
+
+
+def random_two_qubit_circuit(
+    num_qubits: int, num_gates: int, seed: int = 0
+) -> QuantumCircuit:
+    """A random circuit consisting only of CNOT gates (worst case for routing)."""
+    return random_circuit(
+        num_qubits, num_gates, two_qubit_fraction=1.0, seed=seed
+    )

@@ -1,0 +1,149 @@
+"""Gate model: a single quantum operation on one or more qubits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Names of standard single-qubit gates recognised by the QASM front-end.
+SINGLE_QUBIT_GATES = frozenset(
+    {
+        "id",
+        "x",
+        "y",
+        "z",
+        "h",
+        "s",
+        "sdg",
+        "t",
+        "tdg",
+        "sx",
+        "sxdg",
+        "rx",
+        "ry",
+        "rz",
+        "u",
+        "u1",
+        "u2",
+        "u3",
+        "p",
+        "reset",
+        "measure",
+    }
+)
+
+#: Names of standard two-qubit gates recognised by the QASM front-end.
+TWO_QUBIT_GATES = frozenset(
+    {
+        "cx",
+        "cnot",
+        "cz",
+        "cy",
+        "ch",
+        "swap",
+        "iswap",
+        "crx",
+        "cry",
+        "crz",
+        "cp",
+        "cu1",
+        "cu3",
+        "rxx",
+        "ryy",
+        "rzz",
+        "ecr",
+    }
+)
+
+#: Names of supported three-qubit gates (decomposed before mapping).
+THREE_QUBIT_GATES = frozenset({"ccx", "toffoli", "cswap", "fredkin"})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A quantum gate applied to an ordered tuple of qubit indices.
+
+    Attributes:
+        name: lower-case gate name, e.g. ``"cx"``, ``"h"``, ``"swap"``.
+        qubits: ordered qubit indices the gate acts on (logical indices in an
+            unmapped circuit, physical indices in a routed circuit).
+        params: optional real parameters (rotation angles, ...).
+        label: optional user label carried through transformations.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} has repeated qubit operands {self.qubits}")
+        if not self.qubits and self.name != "barrier":
+            raise ValueError(f"gate {self.name} must act on at least one qubit")
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for gates acting on exactly two qubits (excluding barriers)."""
+        return self.num_qubits == 2 and self.name != "barrier"
+
+    @property
+    def is_swap(self) -> bool:
+        """True for SWAP gates."""
+        return self.name == "swap"
+
+    @property
+    def is_barrier(self) -> bool:
+        """True for barrier pseudo-gates."""
+        return self.name == "barrier"
+
+    @property
+    def is_measurement(self) -> bool:
+        """True for measurement operations."""
+        return self.name == "measure"
+
+    # -- transformations ----------------------------------------------------
+
+    def remap(self, mapping: Sequence[int] | dict[int, int]) -> "Gate":
+        """Return a copy of the gate with qubit indices remapped."""
+        if isinstance(mapping, dict):
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        else:
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        return Gate(self.name, new_qubits, self.params, self.label)
+
+    def with_qubits(self, qubits: Sequence[int]) -> "Gate":
+        """Return a copy of the gate acting on different qubits."""
+        return Gate(self.name, tuple(qubits), self.params, self.label)
+
+    def __repr__(self) -> str:
+        operands = ", ".join(f"q[{q}]" for q in self.qubits)
+        if self.params:
+            params = ", ".join(f"{p:g}" for p in self.params)
+            return f"{self.name}({params}) {operands}"
+        return f"{self.name} {operands}"
+
+
+def cx(control: int, target: int) -> Gate:
+    """Convenience constructor for a CNOT gate."""
+    return Gate("cx", (control, target))
+
+
+def swap(a: int, b: int) -> Gate:
+    """Convenience constructor for a SWAP gate."""
+    return Gate("swap", (a, b))
+
+
+def h(qubit: int) -> Gate:
+    """Convenience constructor for a Hadamard gate."""
+    return Gate("h", (qubit,))

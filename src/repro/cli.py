@@ -1,0 +1,162 @@
+"""Command-line interface: ``repro-map`` / ``python -m repro``.
+
+Sub-commands:
+
+* ``map``       route a QASM file (or a generated benchmark circuit) onto a
+  backend with a chosen mapper and print the quality metrics,
+* ``compare``   run Qlosure and the baselines on one circuit and print a
+  comparison table,
+* ``backends``  list the built-in hardware back-ends,
+* ``info``      print circuit statistics (qubits, gates, depth, lifted
+  macro-gates) without routing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.affine.lifter import lift_circuit, lifting_report
+from repro.analysis.experiments import compare_mappers
+from repro.analysis.report import render_records
+from repro.baselines.registry import available_baselines, baseline_router
+from repro.benchgen.qasmbench import qasmbench_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.validation import verify_routing
+from repro.core.config import QlosureConfig
+from repro.core.mapper import QlosureMapper
+from repro.hardware.backends import available_backends, backend_by_name
+from repro.qasm.loader import load_qasm_file
+from repro.qasm.writer import write_qasm_file
+
+
+def _load_circuit(args: argparse.Namespace) -> QuantumCircuit:
+    if args.qasm:
+        return load_qasm_file(args.qasm)
+    if args.generate:
+        family, _, qubits = args.generate.partition(":")
+        return qasmbench_circuit(family, int(qubits or "20"))
+    raise SystemExit("provide --qasm FILE or --generate family:qubits")
+
+
+def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--qasm", type=Path, help="input OpenQASM 2.0 file")
+    parser.add_argument(
+        "--generate",
+        help="generate a benchmark circuit instead, e.g. 'qft:24' or 'ghz:16'",
+    )
+
+
+def _command_map(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    backend = backend_by_name(args.backend)
+    if args.mapper == "qlosure":
+        mapper = QlosureMapper(
+            backend,
+            config=QlosureConfig(),
+            bidirectional_passes=args.bidirectional_passes,
+        )
+        result = mapper.map(circuit)
+    else:
+        router = baseline_router(args.mapper, backend)
+        result = router.run(circuit)
+    if args.verify:
+        verify_routing(
+            circuit, result.routed_circuit, backend.edges(), result.initial_layout
+        )
+    print(f"circuit      : {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
+    print(f"backend      : {backend.name} ({backend.num_qubits} qubits)")
+    print(f"mapper       : {result.mapper_name}")
+    print(f"swaps added  : {result.swaps_added}")
+    print(f"depth        : {circuit.depth()} -> {result.routed_depth}")
+    print(f"mapping time : {result.runtime_seconds:.3f} s")
+    if args.output:
+        write_qasm_file(result.routed_circuit, args.output)
+        print(f"routed QASM  : {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    backend = backend_by_name(args.backend)
+    records = compare_mappers([circuit], backend)
+    print(render_records(records))
+    return 0
+
+
+def _command_backends(_: argparse.Namespace) -> int:
+    for name in available_backends():
+        backend = backend_by_name(name)
+        print(
+            f"{name:14s} {backend.num_qubits:4d} qubits, {backend.num_edges():4d} couplings, "
+            f"max degree {backend.max_degree()}"
+        )
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    program = lift_circuit(circuit)
+    report = lifting_report(program)
+    counts = circuit.count_ops()
+    print(f"circuit    : {circuit.name}")
+    print(f"qubits     : {circuit.num_qubits}")
+    print(f"gates      : {len(circuit)} (2-qubit: {sum(1 for g in circuit if g.is_two_qubit)})")
+    print(f"depth      : {circuit.depth()}")
+    print(f"gate mix   : {dict(counts)}")
+    print(f"macro-gates: {report['num_statements']} (compression {report['compression_ratio']:.2f}x)")
+    if args.draw:
+        from repro.circuit.drawing import draw_circuit
+
+        print()
+        print(draw_circuit(circuit))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Qlosure: dependence-driven quantum circuit mapping (CGO 2026 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    map_parser = subparsers.add_parser("map", help="route a circuit onto a backend")
+    _add_circuit_arguments(map_parser)
+    map_parser.add_argument("--backend", default="sherbrooke", help="target backend name")
+    map_parser.add_argument(
+        "--mapper",
+        default="qlosure",
+        choices=["qlosure"] + available_baselines(),
+        help="mapping algorithm",
+    )
+    map_parser.add_argument("--bidirectional-passes", type=int, default=0)
+    map_parser.add_argument("--verify", action="store_true", help="validate the routed circuit")
+    map_parser.add_argument("--output", type=Path, help="write the routed circuit as QASM")
+    map_parser.set_defaults(func=_command_map)
+
+    compare_parser = subparsers.add_parser("compare", help="compare all mappers on one circuit")
+    _add_circuit_arguments(compare_parser)
+    compare_parser.add_argument("--backend", default="sherbrooke")
+    compare_parser.set_defaults(func=_command_compare)
+
+    backends_parser = subparsers.add_parser("backends", help="list built-in backends")
+    backends_parser.set_defaults(func=_command_backends)
+
+    info_parser = subparsers.add_parser("info", help="print circuit statistics")
+    _add_circuit_arguments(info_parser)
+    info_parser.add_argument("--draw", action="store_true", help="print an ASCII drawing")
+    info_parser.set_defaults(func=_command_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

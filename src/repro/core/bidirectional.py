@@ -1,0 +1,54 @@
+"""Bidirectional (forward/backward) initial-layout search.
+
+The paper's ablation (Fig. 8, variant d) improves results by replacing the
+trivial identity layout with a layout obtained from forward/backward routing
+passes, exactly as SABRE does: route the circuit forward, use the resulting
+final layout as the initial layout for routing the *reversed* circuit, and
+use that pass's final layout as the initial layout of the definitive forward
+run.  Each pass lets the qubits drift toward positions that suit the
+circuit's interaction pattern.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.config import QlosureConfig
+from repro.core.router import QlosureRouter
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.layout import Layout
+
+
+def reversed_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """The circuit with its gate order reversed (used for the backward pass)."""
+    return QuantumCircuit(
+        circuit.num_qubits, reversed(circuit.gates), name=f"{circuit.name}-reversed"
+    )
+
+
+def bidirectional_initial_layout(
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    config: QlosureConfig | None = None,
+    passes: int = 1,
+) -> Layout:
+    """Compute an initial layout from ``passes`` forward/backward round trips.
+
+    Returns the layout to feed into the final forward routing run.  With
+    ``passes=0`` the trivial identity layout is returned.
+    """
+    config = config or QlosureConfig()
+    layout = Layout.trivial(circuit.num_qubits, coupling.num_qubits)
+    if passes <= 0:
+        return layout
+    router = QlosureRouter(coupling, config)
+    backward = reversed_circuit(circuit)
+    for _ in range(passes):
+        forward_result = router.run(circuit, layout)
+        layout = Layout(
+            circuit.num_qubits, coupling.num_qubits, forward_result.final_layout
+        )
+        backward_result = router.run(backward, layout)
+        layout = Layout(
+            circuit.num_qubits, coupling.num_qubits, backward_result.final_layout
+        )
+    return layout

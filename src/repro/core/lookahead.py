@@ -1,0 +1,127 @@
+"""Look-ahead window construction and layering by dependence distance.
+
+The Qlosure heuristic evaluates candidate SWAPs against a *look-ahead window*
+``Lw`` of the topologically earliest ``k = c * n_f`` gates that are not yet
+executed, organised into layers ``G_1, G_2, ...`` where ``G_1`` is the front
+layer and ``G_{l+1}`` contains gates that become executable only after all
+gates of ``G_l`` (the dependence distance from the front).  Only two-qubit
+gates matter for routing cost, so single-qubit gates are skipped when filling
+the window (they still participate in the dependence structure).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.routing.engine import RoutingState
+
+
+@dataclass
+class LookaheadWindow:
+    """The layered look-ahead window used by the cost function.
+
+    ``layers[l]`` holds the circuit gate indices at dependence distance
+    ``l + 1`` from the front (so ``layers[0]`` is the front layer itself).
+    """
+
+    layers: list[list[int]] = field(default_factory=list)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of dependence-distance layers in the window."""
+        return len(self.layers)
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gates across all layers."""
+        return sum(len(layer) for layer in self.layers)
+
+    def gates(self) -> list[int]:
+        """All gate indices in the window, front layer first."""
+        return [index for layer in self.layers for index in layer]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+
+def window_size(state: RoutingState, lookahead_constant: int, cap: int) -> int:
+    """The dynamic window size ``k = c * n_f`` (capped)."""
+    front_qubits = state.front_physical_qubits()
+    n_front = max(len(front_qubits), 1)
+    return min(lookahead_constant * n_front, cap)
+
+
+def build_lookahead(
+    state: RoutingState,
+    lookahead_constant: int,
+    cap: int = 512,
+    front_only: bool = False,
+) -> LookaheadWindow:
+    """Build the layered look-ahead window from the current routing state.
+
+    The window is grown by simulating dependence-readiness (ignoring
+    connectivity): starting from the unexecuted front-layer gates, gates whose
+    unexecuted predecessors are all inside the window are added in topological
+    order until ``k`` two-qubit gates have been collected.  Each gate's layer
+    is one plus the maximum layer of its in-window predecessors.
+    """
+    front_two_qubit = [
+        index for index in sorted(state.front) if state.gate(index).is_two_qubit
+    ]
+    if front_only or not front_two_qubit:
+        return LookaheadWindow([front_two_qubit] if front_two_qubit else [])
+
+    target = window_size(state, lookahead_constant, cap)
+    level: dict[int, int] = {}
+    in_window: set[int] = set()
+    collected_two_qubit = 0
+
+    # Seed with every unexecuted front gate (level 1).
+    queue: deque[int] = deque()
+    for index in sorted(state.front):
+        level[index] = 1
+        in_window.add(index)
+        queue.append(index)
+        if state.gate(index).is_two_qubit:
+            collected_two_qubit += 1
+
+    # Expand in topological order while the two-qubit budget lasts.
+    remaining_preds: dict[int, int] = {}
+    while queue and collected_two_qubit < target:
+        current = queue.popleft()
+        for successor in state.dag.successors(current):
+            if successor in in_window or successor in state.executed:
+                continue
+            if successor not in remaining_preds:
+                remaining_preds[successor] = sum(
+                    1
+                    for predecessor in state.dag.predecessors(successor)
+                    if predecessor not in state.executed
+                )
+            remaining_preds[successor] -= 1
+            if remaining_preds[successor] > 0:
+                continue
+            predecessor_levels = [
+                level[p]
+                for p in state.dag.predecessors(successor)
+                if p in level
+            ]
+            level[successor] = 1 + max(predecessor_levels, default=0)
+            in_window.add(successor)
+            queue.append(successor)
+            if state.gate(successor).is_two_qubit:
+                collected_two_qubit += 1
+                if collected_two_qubit >= target:
+                    break
+
+    max_level = max(
+        (lvl for index, lvl in level.items() if state.gate(index).is_two_qubit),
+        default=0,
+    )
+    layers: list[list[int]] = [[] for _ in range(max_level)]
+    for index, lvl in level.items():
+        if state.gate(index).is_two_qubit:
+            layers[lvl - 1].append(index)
+    layers = [sorted(layer) for layer in layers if layer]
+    return LookaheadWindow(layers)

@@ -1,0 +1,89 @@
+"""The Qlosure routing engine (Algorithm 1 of the paper).
+
+The router plugs the dependence-driven cost function into the shared
+execute-or-swap loop: at every stall it rebuilds the layered look-ahead
+window, scores every candidate SWAP with ``M(s)`` and commits the cheapest
+one (ties broken at random), updating the SABRE-style decay values.
+"""
+
+from __future__ import annotations
+
+from repro.affine.dependence import DependenceAnalysis
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.config import QlosureConfig
+from repro.core.cost import WindowScorer
+from repro.core.lookahead import build_lookahead
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+
+
+class QlosureRouter(RoutingEngine):
+    """Dependence-driven SWAP insertion using the ``M(s)`` cost function."""
+
+    name = "qlosure"
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        config: QlosureConfig | None = None,
+    ):
+        self.config = config or QlosureConfig()
+        super().__init__(coupling, seed=self.config.seed)
+        self._lookahead_constant = self.config.effective_lookahead_constant(
+            coupling.max_degree()
+        )
+        self._weights: dict[int, int] = {}
+        self._decay: dict[int, float] = {}
+
+    # -- engine hooks -----------------------------------------------------------
+
+    def on_circuit_start(self, state: RoutingState) -> None:
+        """Precompute the transitive dependence weights ``omega`` once per circuit."""
+        analysis = DependenceAnalysis(state.circuit)
+        self._weights = analysis.weights()
+        self._decay = {q: 1.0 for q in range(state.circuit.num_qubits)}
+
+    def on_gate_executed(self, state: RoutingState, index: int) -> None:
+        """Reset decay values after a successful two-qubit gate execution."""
+        if self.config.decay_reset_on_execute:
+            for qubit in self._decay:
+                self._decay[qubit] = 1.0
+
+    def on_swap_applied(self, state: RoutingState, swap: tuple[int, int]) -> None:
+        """Penalise the logical qubits that were just moved."""
+        for physical in swap:
+            logical = state.layout.logical(physical)
+            if logical is not None:
+                self._decay[logical] = self._decay.get(logical, 1.0) + self.config.decay_increment
+
+    # -- SWAP selection ------------------------------------------------------------
+
+    def select_swap(self, state: RoutingState) -> tuple[int, int]:
+        """Score every candidate SWAP with ``M(s)`` and return the cheapest."""
+        candidates = state.candidate_swaps()
+        if not candidates:
+            raise RouterError("no candidate SWAPs available (disconnected front layer?)")
+        window = build_lookahead(
+            state,
+            self._lookahead_constant,
+            cap=self.config.max_lookahead_gates,
+            front_only=self.config.lookahead_only_front,
+        )
+        scorer = WindowScorer(state, window, self._weights, self._decay, self.config)
+        best_cost = float("inf")
+        best: list[tuple[int, int]] = []
+        for candidate in candidates:
+            cost = scorer.score(candidate)
+            state.cost_evaluations += 1
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best = [candidate]
+            elif abs(cost - best_cost) <= 1e-12:
+                best.append(candidate)
+        return best[0] if len(best) == 1 else self._rng.choice(best)
+
+    # -- convenience ------------------------------------------------------------------
+
+    def route(self, circuit: QuantumCircuit, initial_layout=None):
+        """Alias of :meth:`run` using routing terminology."""
+        return self.run(circuit, initial_layout)

@@ -1,0 +1,51 @@
+"""Quantum hardware models: coupling graphs, topologies and distance matrices.
+
+The mapper only needs a device's *coupling graph* (which physical qubit pairs
+can interact directly) and the all-pairs shortest-path distance matrix derived
+from it.  This subpackage provides:
+
+* :class:`~repro.hardware.coupling.CouplingGraph` -- the device model,
+* :mod:`~repro.hardware.topologies` -- generic topology families (line, ring,
+  grid, king-grid, heavy-hexagon),
+* :mod:`~repro.hardware.backends` -- the concrete back-ends of the paper's
+  evaluation (IBM Sherbrooke, Rigetti Ankaa-3, the synthetic Sherbrooke-2X and
+  the 9x9 / 16x16 QUEKO grids), and
+* :mod:`~repro.hardware.distance` -- BFS all-pairs shortest paths.
+"""
+
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.distance import distance_matrix, shortest_path
+from repro.hardware.topologies import (
+    line_topology,
+    ring_topology,
+    grid_topology,
+    king_grid_topology,
+    heavy_hex_topology,
+)
+from repro.hardware.backends import (
+    sherbrooke,
+    ankaa3,
+    sherbrooke_2x,
+    grid_9x9,
+    grid_16x16,
+    backend_by_name,
+    available_backends,
+)
+
+__all__ = [
+    "CouplingGraph",
+    "distance_matrix",
+    "shortest_path",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+    "king_grid_topology",
+    "heavy_hex_topology",
+    "sherbrooke",
+    "ankaa3",
+    "sherbrooke_2x",
+    "grid_9x9",
+    "grid_16x16",
+    "backend_by_name",
+    "available_backends",
+]

@@ -1,0 +1,118 @@
+"""The device coupling graph: which physical qubit pairs can interact."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import networkx as nx
+
+
+class CouplingGraph:
+    """An undirected graph over physical qubits with SWAP-distance queries.
+
+    The graph is the hardware abstraction the mapper consumes (the paper's
+    set ``Rhw``).  Edges are undirected: if ``(p1, p2)`` is present, a
+    two-qubit gate (and a SWAP) may be applied between ``p1`` and ``p2``.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        edges: Iterable[tuple[int, int]],
+        name: str = "device",
+    ):
+        if num_qubits <= 0:
+            raise ValueError("a coupling graph needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self.name = name
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(self._num_qubits))
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if a == b:
+                raise ValueError(f"self-coupling ({a}, {b}) is not allowed")
+            if not (0 <= a < self._num_qubits and 0 <= b < self._num_qubits):
+                raise ValueError(
+                    f"edge ({a}, {b}) references a qubit outside [0, {self._num_qubits})"
+                )
+            self._graph.add_edge(a, b)
+        self._distance: list[list[int]] | None = None
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits on the device."""
+        return self._num_qubits
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (do not mutate)."""
+        return self._graph
+
+    def edges(self) -> list[tuple[int, int]]:
+        """The coupling edges as (min, max) ordered pairs."""
+        return [tuple(sorted(edge)) for edge in self._graph.edges()]
+
+    def num_edges(self) -> int:
+        """Number of coupling edges."""
+        return self._graph.number_of_edges()
+
+    def neighbors(self, qubit: int) -> list[int]:
+        """Physical qubits directly coupled to ``qubit``."""
+        return sorted(self._graph.neighbors(qubit))
+
+    def degree(self, qubit: int) -> int:
+        """Number of neighbours of ``qubit``."""
+        return self._graph.degree(qubit)
+
+    def max_degree(self) -> int:
+        """Maximum degree over all qubits (used to size the look-ahead window)."""
+        return max((d for _, d in self._graph.degree()), default=0)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True when qubits ``a`` and ``b`` are directly coupled."""
+        return self._graph.has_edge(a, b)
+
+    def is_connected(self) -> bool:
+        """True when the coupling graph is connected."""
+        return nx.is_connected(self._graph)
+
+    # -- distances -------------------------------------------------------------
+
+    def distance_matrix(self) -> list[list[int]]:
+        """All-pairs shortest-path distances (cached); -1 for unreachable pairs."""
+        if self._distance is None:
+            from repro.hardware.distance import distance_matrix
+
+            self._distance = distance_matrix(self)
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance (in edges) between two physical qubits."""
+        return self.distance_matrix()[a][b]
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One shortest path between two physical qubits (inclusive endpoints)."""
+        return nx.shortest_path(self._graph, a, b)
+
+    # -- construction helpers ---------------------------------------------------
+
+    def subgraph(self, qubits: Sequence[int], name: str | None = None) -> "CouplingGraph":
+        """Induced subgraph over a subset of physical qubits, reindexed from 0."""
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self._graph.edges()
+            if a in index and b in index
+        ]
+        return CouplingGraph(len(qubits), edges, name or f"{self.name}-sub")
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._num_qubits))
+
+    def __repr__(self) -> str:
+        return (
+            f"CouplingGraph(name={self.name!r}, qubits={self._num_qubits}, "
+            f"edges={self.num_edges()}, max_degree={self.max_degree()})"
+        )

@@ -1,0 +1,55 @@
+"""All-pairs shortest-path distances on coupling graphs.
+
+The distance matrix ``Dphys`` gives, for every pair of physical qubits, the
+minimum number of coupling edges between them -- which is the number of SWAPs
+needed to make them adjacent plus one, and the quantity every distance-based
+routing cost (including Qlosure's) consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.hardware.coupling import CouplingGraph
+
+
+def bfs_distances(graph: "CouplingGraph", source: int) -> list[int]:
+    """Distances (in edges) from ``source`` to every qubit; -1 when unreachable."""
+    distances = [-1] * graph.num_qubits
+    distances[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if distances[neighbor] == -1:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def distance_matrix(graph: "CouplingGraph") -> list[list[int]]:
+    """Symmetric all-pairs shortest-path matrix computed with repeated BFS."""
+    return [bfs_distances(graph, source) for source in range(graph.num_qubits)]
+
+
+def shortest_path(graph: "CouplingGraph", source: int, target: int) -> list[int]:
+    """One shortest path between two qubits, endpoints included."""
+    if source == target:
+        return [source]
+    parents: dict[int, int] = {source: source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in parents:
+                continue
+            parents[neighbor] = node
+            if neighbor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            queue.append(neighbor)
+    raise ValueError(f"no path between physical qubits {source} and {target}")

@@ -1,0 +1,125 @@
+"""Generic coupling-graph topology families.
+
+These constructors cover the topology families used by the paper's back-ends:
+linear chains, rings, square grids (Rigetti-style), king grids (the 8-neighbour
+grids of the custom QUEKO benchmark sets) and heavy-hexagon lattices
+(IBM-style).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.coupling import CouplingGraph
+
+
+def line_topology(num_qubits: int, name: str = "line") -> CouplingGraph:
+    """A linear chain ``0 - 1 - ... - (n-1)``."""
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return CouplingGraph(num_qubits, edges, name)
+
+
+def ring_topology(num_qubits: int, name: str = "ring") -> CouplingGraph:
+    """A ring: a linear chain with the two ends also coupled."""
+    if num_qubits < 3:
+        raise ValueError("a ring requires at least three qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingGraph(num_qubits, edges, name)
+
+
+def grid_topology(rows: int, cols: int, name: str = "grid") -> CouplingGraph:
+    """A rows x cols square lattice with 4-neighbour connectivity."""
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((index(r, c), index(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((index(r, c), index(r + 1, c)))
+    return CouplingGraph(rows * cols, edges, name)
+
+
+def king_grid_topology(rows: int, cols: int, name: str = "king-grid") -> CouplingGraph:
+    """A rows x cols grid with 8-neighbour (king-move) connectivity.
+
+    This is the topology used to *generate* the custom QUEKO benchmark sets
+    of the paper (9x9 and 16x16 grids where interior qubits have eight
+    neighbours); the generated circuits are then mapped onto sparser devices.
+    """
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, 0), (1, 1), (1, -1)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols:
+                    edges.append((index(r, c), index(nr, nc)))
+    return CouplingGraph(rows * cols, edges, name)
+
+
+def heavy_hex_topology(
+    rows: int = 7, row_length: int = 15, name: str = "heavy-hex"
+) -> CouplingGraph:
+    """An IBM-style heavy-hexagon lattice.
+
+    The lattice consists of ``rows`` horizontal chains of (nominally)
+    ``row_length`` qubits connected by bridge qubits.  Bridges between row
+    ``r`` and row ``r+1`` sit at columns ``0, 4, 8, ...`` when ``r`` is even
+    and at columns ``2, 6, 10, ...`` when ``r`` is odd, which yields the
+    familiar brick-like hexagonal pattern where no qubit exceeds degree 3.
+    Following the IBM Eagle/Sherbrooke layout, the first row omits its last
+    column and the last row omits its first column.  With the default
+    parameters (7 rows of 15) the lattice has exactly 127 qubits.
+    """
+    if rows < 2 or row_length < 3:
+        raise ValueError("heavy-hex lattices need at least 2 rows of 3 qubits")
+
+    row_columns: list[list[int]] = []
+    for r in range(rows):
+        columns = list(range(row_length))
+        if r == 0:
+            columns = columns[:-1]
+        if r == rows - 1:
+            columns = columns[1:]
+        row_columns.append(columns)
+    return _build_heavy_hex(rows, row_length, row_columns, name)
+
+
+def _build_heavy_hex(
+    rows: int, row_length: int, row_columns: list[list[int]], name: str
+) -> CouplingGraph:
+    """Number qubits in IBM order: row 0, bridges 0-1, row 1, bridges 1-2, ..."""
+    next_index = 0
+    row_qubits: list[dict[int, int]] = []
+    edges: list[tuple[int, int]] = []
+    pending_bridges: list[tuple[int, int, int]] = []  # (upper row, column, bridge qubit)
+
+    for r in range(rows):
+        placed: dict[int, int] = {}
+        for column in row_columns[r]:
+            placed[column] = next_index
+            next_index += 1
+        row_qubits.append(placed)
+        ordered = [placed[c] for c in sorted(placed)]
+        edges.extend(zip(ordered, ordered[1:]))
+
+        # Connect bridges created between the previous row and this one.
+        for upper_row, column, bridge in pending_bridges:
+            if column in row_qubits[upper_row]:
+                edges.append((row_qubits[upper_row][column], bridge))
+            if column in placed:
+                edges.append((bridge, placed[column]))
+        pending_bridges = []
+
+        if r == rows - 1:
+            continue
+        offset = 0 if r % 2 == 0 else 2
+        for column in range(offset, row_length, 4):
+            bridge = next_index
+            next_index += 1
+            pending_bridges.append((r, column, bridge))
+
+    return CouplingGraph(next_index, edges, name)

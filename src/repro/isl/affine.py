@@ -1,0 +1,150 @@
+"""Integer affine expressions over named dimensions.
+
+An :class:`AffineExpr` is an integer linear form ``sum_i c_i * x_i + k`` over
+a collection of named dimensions.  Expressions are immutable and support the
+usual arithmetic operators, evaluation against a point, and substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+class AffineExpr:
+    """An immutable integer affine expression ``sum(coeff[d] * d) + constant``."""
+
+    __slots__ = ("_coeffs", "_constant")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, constant: int = 0):
+        cleaned = {}
+        for name, coeff in (coeffs or {}).items():
+            coeff = int(coeff)
+            if coeff != 0:
+                cleaned[str(name)] = coeff
+        self._coeffs = dict(sorted(cleaned.items()))
+        self._constant = int(constant)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def coeffs(self) -> dict[str, int]:
+        """A copy of the per-dimension coefficients (zero coefficients omitted)."""
+        return dict(self._coeffs)
+
+    @property
+    def constant(self) -> int:
+        """The constant term of the expression."""
+        return self._constant
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Names of dimensions with a non-zero coefficient, sorted."""
+        return tuple(self._coeffs)
+
+    def coefficient(self, name: str) -> int:
+        """Coefficient of dimension ``name`` (0 if absent)."""
+        return self._coeffs.get(name, 0)
+
+    def is_constant(self) -> bool:
+        """True when the expression has no variable terms."""
+        return not self._coeffs
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _coerce(self, other) -> "AffineExpr":
+        if isinstance(other, AffineExpr):
+            return other
+        if isinstance(other, int):
+            return AffineExpr(constant=other)
+        raise TypeError(f"cannot combine AffineExpr with {type(other).__name__}")
+
+    def __add__(self, other) -> "AffineExpr":
+        other = self._coerce(other)
+        coeffs = dict(self._coeffs)
+        for name, coeff in other._coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return AffineExpr(coeffs, self._constant + other._constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({n: -c for n, c in self._coeffs.items()}, -self._constant)
+
+    def __sub__(self, other) -> "AffineExpr":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "AffineExpr":
+        return self._coerce(other) - self
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int):
+            raise TypeError("AffineExpr can only be scaled by an integer")
+        return AffineExpr(
+            {n: c * factor for n, c in self._coeffs.items()}, self._constant * factor
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        """Evaluate the expression at ``point`` (a dim-name -> value mapping)."""
+        total = self._constant
+        for name, coeff in self._coeffs.items():
+            if name not in point:
+                raise KeyError(f"point does not bind dimension {name!r}")
+            total += coeff * point[name]
+        return total
+
+    def substitute(self, bindings: Mapping[str, "AffineExpr | int"]) -> "AffineExpr":
+        """Substitute dimensions by affine expressions (or integers)."""
+        result = AffineExpr(constant=self._constant)
+        for name, coeff in self._coeffs.items():
+            if name in bindings:
+                replacement = bindings[name]
+                if isinstance(replacement, int):
+                    replacement = AffineExpr(constant=replacement)
+                result = result + replacement * coeff
+            else:
+                result = result + AffineExpr({name: coeff})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        """Rename dimensions according to ``mapping`` (missing names kept)."""
+        return AffineExpr(
+            {mapping.get(n, n): c for n, c in self._coeffs.items()}, self._constant
+        )
+
+    # -- comparisons / hashing --------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._constant == other._constant
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._coeffs.items()), self._constant))
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, coeff in self._coeffs.items():
+            if coeff == 1:
+                parts.append(name)
+            elif coeff == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coeff}*{name}")
+        if self._constant or not parts:
+            parts.append(str(self._constant))
+        text = " + ".join(parts).replace("+ -", "- ")
+        return text
+
+
+def var(name: str) -> AffineExpr:
+    """Return the affine expression consisting of the single dimension ``name``."""
+    return AffineExpr({name: 1})
+
+
+def const(value: int) -> AffineExpr:
+    """Return the constant affine expression ``value``."""
+    return AffineExpr(constant=value)

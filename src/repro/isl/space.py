@@ -1,0 +1,142 @@
+"""Tuple spaces for integer sets and maps.
+
+A :class:`Space` names the dimensions of the integer tuples a set or map
+ranges over.  Set spaces have a single tuple of dimensions; map spaces have
+an input tuple and an output tuple.  Dimension names must be unique within a
+space so that affine constraints can refer to them unambiguously.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Space:
+    """Dimension naming for sets (``in_dims`` only) and maps (``in`` + ``out``)."""
+
+    __slots__ = ("_in_dims", "_out_dims", "_name")
+
+    def __init__(
+        self,
+        in_dims: Sequence[str],
+        out_dims: Sequence[str] | None = None,
+        name: str = "",
+    ):
+        self._in_dims = tuple(str(d) for d in in_dims)
+        self._out_dims = tuple(str(d) for d in out_dims) if out_dims is not None else None
+        self._name = name
+        all_dims = self.all_dims
+        if len(set(all_dims)) != len(all_dims):
+            raise ValueError(f"duplicate dimension names in space: {all_dims}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def set_space(cls, dims: Sequence[str], name: str = "") -> "Space":
+        """Create a set space with the given dimension names."""
+        return cls(dims, None, name)
+
+    @classmethod
+    def map_space(
+        cls, in_dims: Sequence[str], out_dims: Sequence[str], name: str = ""
+    ) -> "Space":
+        """Create a map space with input and output dimension names."""
+        return cls(in_dims, out_dims, name)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Optional human-readable name of the space (e.g. a statement name)."""
+        return self._name
+
+    @property
+    def in_dims(self) -> tuple[str, ...]:
+        """Input-tuple dimension names (for sets: the only tuple)."""
+        return self._in_dims
+
+    @property
+    def out_dims(self) -> tuple[str, ...]:
+        """Output-tuple dimension names, or an empty tuple for sets."""
+        return self._out_dims or ()
+
+    @property
+    def all_dims(self) -> tuple[str, ...]:
+        """All dimension names (input followed by output)."""
+        return self._in_dims + (self._out_dims or ())
+
+    @property
+    def is_map(self) -> bool:
+        """True when the space has an output tuple (map space)."""
+        return self._out_dims is not None
+
+    @property
+    def n_in(self) -> int:
+        """Number of input dimensions."""
+        return len(self._in_dims)
+
+    @property
+    def n_out(self) -> int:
+        """Number of output dimensions."""
+        return len(self._out_dims or ())
+
+    # -- derived spaces ----------------------------------------------------
+
+    def domain_space(self) -> "Space":
+        """The set space of the input tuple."""
+        return Space.set_space(self._in_dims, self._name)
+
+    def range_space(self) -> "Space":
+        """The set space of the output tuple (map spaces only)."""
+        if not self.is_map:
+            raise ValueError("range_space() requires a map space")
+        return Space.set_space(self.out_dims, self._name)
+
+    def reversed(self) -> "Space":
+        """The map space with input and output tuples exchanged."""
+        if not self.is_map:
+            raise ValueError("reversed() requires a map space")
+        return Space.map_space(self.out_dims, self.in_dims, self._name)
+
+    def with_name(self, name: str) -> "Space":
+        """Return a copy of the space with a different name."""
+        return Space(self._in_dims, self._out_dims, name)
+
+    # -- point helpers -----------------------------------------------------
+
+    def bind(self, values: Sequence[int]) -> dict[str, int]:
+        """Bind a flat tuple of integers to the space's dimension names."""
+        dims = self.all_dims
+        if len(values) != len(dims):
+            raise ValueError(
+                f"expected {len(dims)} values for space {dims}, got {len(values)}"
+            )
+        return dict(zip(dims, (int(v) for v in values)))
+
+    def split_point(self, values: Sequence[int]) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Split a flat point into (input tuple, output tuple)."""
+        values = tuple(int(v) for v in values)
+        return values[: self.n_in], values[self.n_in :]
+
+    # -- comparison --------------------------------------------------------
+
+    def compatible_with(self, other: "Space") -> bool:
+        """True when both spaces have the same tuple arities."""
+        return self.n_in == other.n_in and self.n_out == other.n_out and self.is_map == other.is_map
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Space):
+            return NotImplemented
+        return (
+            self._in_dims == other._in_dims
+            and self._out_dims == other._out_dims
+            and self._name == other._name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._in_dims, self._out_dims, self._name))
+
+    def __repr__(self) -> str:
+        if self.is_map:
+            return f"Space({list(self._in_dims)} -> {list(self.out_dims)})"
+        return f"Space({list(self._in_dims)})"

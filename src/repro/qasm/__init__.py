@@ -1,0 +1,40 @@
+"""OpenQASM 2.0 front-end: lexer, parser, AST and writer.
+
+The paper's tool-chain consumes circuits in their QASM representation before
+lifting them to the affine IR.  This subpackage provides a self-contained
+OpenQASM 2.0 front-end supporting the language subset used by the QUEKO and
+QASMBench suites: register declarations, standard-library gates, custom gate
+definitions (expanded inline), barriers and measurements.
+"""
+
+from repro.qasm.lexer import Token, TokenType, tokenize, QasmSyntaxError
+from repro.qasm.ast import (
+    Program,
+    RegisterDecl,
+    GateDecl,
+    GateCall,
+    BarrierStmt,
+    MeasureStmt,
+)
+from repro.qasm.parser import parse_qasm, QasmParseError
+from repro.qasm.loader import circuit_from_qasm, load_qasm_file
+from repro.qasm.writer import circuit_to_qasm, write_qasm_file
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "QasmSyntaxError",
+    "Program",
+    "RegisterDecl",
+    "GateDecl",
+    "GateCall",
+    "BarrierStmt",
+    "MeasureStmt",
+    "parse_qasm",
+    "QasmParseError",
+    "circuit_from_qasm",
+    "load_qasm_file",
+    "circuit_to_qasm",
+    "write_qasm_file",
+]

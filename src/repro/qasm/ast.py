@@ -1,0 +1,100 @@
+"""Abstract syntax tree for the supported OpenQASM 2.0 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class QubitRef:
+    """A reference to a register element (``q[3]``) or a whole register (``q``)."""
+
+    register: str
+    index: int | None = None
+
+    def __repr__(self) -> str:
+        if self.index is None:
+            return self.register
+        return f"{self.register}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class RegisterDecl:
+    """A quantum or classical register declaration."""
+
+    name: str
+    size: int
+    is_quantum: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GateCall:
+    """Application of a (built-in or user-defined) gate to qubit arguments."""
+
+    name: str
+    params: tuple[float, ...]
+    qubits: tuple[QubitRef, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BarrierStmt:
+    """A barrier over the listed qubit references."""
+
+    qubits: tuple[QubitRef, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MeasureStmt:
+    """A measurement of a quantum reference into a classical reference."""
+
+    qubit: QubitRef
+    target: QubitRef
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class GateDecl:
+    """A user-defined gate: parameter names, qubit argument names, and body.
+
+    The body is stored as symbolic gate calls whose qubit references name the
+    declaration's formal arguments; the parser expands user-defined gates
+    inline when building circuits.
+    """
+
+    name: str
+    param_names: tuple[str, ...]
+    qubit_args: tuple[str, ...]
+    body: tuple["SymbolicGateCall", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SymbolicGateCall:
+    """A gate call inside a gate body (arguments are formal names, params are expressions)."""
+
+    name: str
+    param_exprs: tuple[str, ...]
+    qubit_args: tuple[str, ...]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed OpenQASM program."""
+
+    version: str = "2.0"
+    registers: list[RegisterDecl] = field(default_factory=list)
+    gate_decls: dict[str, GateDecl] = field(default_factory=dict)
+    statements: list[GateCall | BarrierStmt | MeasureStmt] = field(default_factory=list)
+
+    def quantum_registers(self) -> list[RegisterDecl]:
+        """Declared quantum registers in declaration order."""
+        return [r for r in self.registers if r.is_quantum]
+
+    def num_qubits(self) -> int:
+        """Total number of declared quantum bits."""
+        return sum(r.size for r in self.quantum_registers())

@@ -1,0 +1,100 @@
+"""Tokenizer for the OpenQASM 2.0 subset handled by the front-end."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class QasmSyntaxError(ValueError):
+    """Raised when the source text cannot be tokenized or parsed."""
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of OpenQASM 2.0 tokens."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    INTEGER = "integer"
+    REAL = "real"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+#: Reserved words of the supported OpenQASM subset.
+KEYWORDS = frozenset(
+    {
+        "OPENQASM",
+        "include",
+        "qreg",
+        "creg",
+        "gate",
+        "opaque",
+        "barrier",
+        "measure",
+        "reset",
+        "if",
+        "pi",
+    }
+)
+
+#: Multi-character and single-character punctuation tokens.
+SYMBOLS = ("->", "==", "(", ")", "[", "]", "{", "}", ",", ";", "+", "-", "*", "/", "^")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<real>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<integer>\d+)
+  | (?P<identifier>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"[^"]*")
+  | (?P<symbol>->|==|[()\[\]{},;+\-*/^])
+  | (?P<whitespace>\s+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source line for error reporting."""
+
+    type: TokenType
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize OpenQASM source text into a list of tokens (EOF-terminated)."""
+    tokens: list[Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("whitespace", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "error":
+            raise QasmSyntaxError(f"unexpected character {text!r} on line {line}")
+        if kind == "identifier":
+            token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENTIFIER
+        elif kind == "integer":
+            token_type = TokenType.INTEGER
+        elif kind == "real":
+            token_type = TokenType.REAL
+        elif kind == "string":
+            token_type = TokenType.STRING
+            text = text[1:-1]
+        else:
+            token_type = TokenType.SYMBOL
+        tokens.append(Token(token_type, text, line))
+        line += text.count("\n")
+    tokens.append(Token(TokenType.EOF, "", line))
+    return tokens

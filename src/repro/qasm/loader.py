@@ -1,0 +1,170 @@
+"""Build :class:`~repro.circuit.circuit.QuantumCircuit` objects from parsed QASM."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.qasm.ast import BarrierStmt, GateCall, GateDecl, MeasureStmt, Program, QubitRef
+from repro.qasm.parser import QasmParseError, evaluate_expression, parse_qasm
+
+
+class QasmSemanticError(QasmParseError):
+    """Raised for semantically invalid programs (unknown registers, arity mismatch...)."""
+
+
+def circuit_from_qasm(
+    source: str,
+    include_measurements: bool = False,
+    decompose_multiqubit: bool = True,
+    name: str = "qasm-circuit",
+) -> QuantumCircuit:
+    """Parse QASM source text and build a circuit over flattened qubit indices.
+
+    Quantum registers are flattened in declaration order, whole-register gate
+    applications are broadcast element-wise, user-defined gates are expanded
+    inline, and (optionally) three-qubit standard gates are decomposed into
+    one- and two-qubit gates so the result is directly mappable.
+    """
+    program = parse_qasm(source)
+    return circuit_from_program(
+        program,
+        include_measurements=include_measurements,
+        decompose_multiqubit=decompose_multiqubit,
+        name=name,
+    )
+
+
+def load_qasm_file(
+    path: str | Path,
+    include_measurements: bool = False,
+    decompose_multiqubit: bool = True,
+) -> QuantumCircuit:
+    """Load a circuit from an OpenQASM 2.0 file."""
+    path = Path(path)
+    return circuit_from_qasm(
+        path.read_text(),
+        include_measurements=include_measurements,
+        decompose_multiqubit=decompose_multiqubit,
+        name=path.stem,
+    )
+
+
+def circuit_from_program(
+    program: Program,
+    include_measurements: bool = False,
+    decompose_multiqubit: bool = True,
+    name: str = "qasm-circuit",
+) -> QuantumCircuit:
+    """Build a circuit from an already-parsed :class:`Program`."""
+    offsets: dict[str, int] = {}
+    total = 0
+    for register in program.quantum_registers():
+        offsets[register.name] = total
+        total += register.size
+    if total == 0:
+        raise QasmSemanticError("program declares no quantum registers")
+    sizes = {r.name: r.size for r in program.quantum_registers()}
+
+    circuit = QuantumCircuit(total, name=name)
+
+    def resolve(ref: QubitRef) -> list[int]:
+        if ref.register not in offsets:
+            raise QasmSemanticError(f"unknown quantum register {ref.register!r}")
+        if ref.index is None:
+            return [offsets[ref.register] + i for i in range(sizes[ref.register])]
+        if not 0 <= ref.index < sizes[ref.register]:
+            raise QasmSemanticError(
+                f"index {ref.index} out of range for register {ref.register!r}"
+            )
+        return [offsets[ref.register] + ref.index]
+
+    def broadcast(refs: tuple[QubitRef, ...]) -> list[tuple[int, ...]]:
+        resolved = [resolve(ref) for ref in refs]
+        lengths = {len(r) for r in resolved if len(r) > 1}
+        if not lengths:
+            return [tuple(r[0] for r in resolved)]
+        if len(lengths) > 1:
+            raise QasmSemanticError("mismatched register sizes in broadcast gate application")
+        width = lengths.pop()
+        expanded = []
+        for i in range(width):
+            expanded.append(tuple(r[i] if len(r) > 1 else r[0] for r in resolved))
+        return expanded
+
+    def emit(name_: str, params: tuple[float, ...], qubits: tuple[int, ...]) -> None:
+        if decompose_multiqubit and name_ in ("ccx", "toffoli") and len(qubits) == 3:
+            for gate in _decompose_ccx(*qubits):
+                circuit.append(gate)
+            return
+        if decompose_multiqubit and name_ in ("cswap", "fredkin") and len(qubits) == 3:
+            control, a, b = qubits
+            circuit.append(Gate("cx", (b, a)))
+            for gate in _decompose_ccx(control, a, b):
+                circuit.append(gate)
+            circuit.append(Gate("cx", (b, a)))
+            return
+        circuit.append(Gate(name_, qubits, params))
+
+    def expand_call(
+        name_: str, params: tuple[float, ...], qubits: tuple[int, ...], depth: int
+    ) -> None:
+        if depth > 32:
+            raise QasmSemanticError(f"gate expansion too deep (recursive gate {name_!r}?)")
+        decl = program.gate_decls.get(name_)
+        if decl is None:
+            emit(name_, params, qubits)
+            return
+        if len(decl.qubit_args) != len(qubits):
+            raise QasmSemanticError(
+                f"gate {name_!r} expects {len(decl.qubit_args)} qubits, got {len(qubits)}"
+            )
+        if len(decl.param_names) != len(params):
+            raise QasmSemanticError(
+                f"gate {name_!r} expects {len(decl.param_names)} parameters, got {len(params)}"
+            )
+        env: Mapping[str, float] = dict(zip(decl.param_names, params))
+        binding = dict(zip(decl.qubit_args, qubits))
+        for call in decl.body:
+            child_params = tuple(evaluate_expression(e, env) for e in call.param_exprs)
+            child_qubits = tuple(binding[a] for a in call.qubit_args)
+            expand_call(call.name, child_params, child_qubits, depth + 1)
+
+    for statement in program.statements:
+        if isinstance(statement, GateCall):
+            for qubits in broadcast(statement.qubits):
+                expand_call(statement.name, statement.params, qubits, 0)
+        elif isinstance(statement, BarrierStmt):
+            targets: list[int] = []
+            for ref in statement.qubits:
+                targets.extend(resolve(ref))
+            circuit.barrier(*targets) if targets else circuit.barrier()
+        elif isinstance(statement, MeasureStmt):
+            if include_measurements:
+                for qubit in resolve(statement.qubit):
+                    circuit.measure(qubit)
+    return circuit
+
+
+def _decompose_ccx(control1: int, control2: int, target: int) -> list[Gate]:
+    """Standard Toffoli decomposition into H, T, Tdg and six CNOT gates."""
+    return [
+        Gate("h", (target,)),
+        Gate("cx", (control2, target)),
+        Gate("tdg", (target,)),
+        Gate("cx", (control1, target)),
+        Gate("t", (target,)),
+        Gate("cx", (control2, target)),
+        Gate("tdg", (target,)),
+        Gate("cx", (control1, target)),
+        Gate("t", (control2,)),
+        Gate("t", (target,)),
+        Gate("h", (target,)),
+        Gate("cx", (control1, control2)),
+        Gate("t", (control1,)),
+        Gate("tdg", (control2,)),
+        Gate("cx", (control1, control2)),
+    ]

@@ -1,0 +1,42 @@
+"""Serialize circuits back to OpenQASM 2.0 text."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuit.circuit import QuantumCircuit
+
+
+def circuit_to_qasm(circuit: QuantumCircuit, register_name: str = "q") -> str:
+    """Render a circuit as OpenQASM 2.0 source text.
+
+    SWAP gates are emitted with the standard-library ``swap`` gate; barriers
+    and measurements are preserved.  The output round-trips through
+    :func:`repro.qasm.loader.circuit_from_qasm`.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register_name}[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        operands = ",".join(f"{register_name}[{q}]" for q in gate.qubits)
+        if gate.is_barrier:
+            lines.append(f"barrier {operands};")
+        elif gate.is_measurement:
+            qubit = gate.qubits[0]
+            lines.append(f"measure {register_name}[{qubit}] -> c[{qubit}];")
+        elif gate.params:
+            params = ",".join(f"{p!r}" for p in gate.params)
+            lines.append(f"{gate.name}({params}) {operands};")
+        else:
+            lines.append(f"{gate.name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def write_qasm_file(circuit: QuantumCircuit, path: str | Path) -> Path:
+    """Write a circuit to a ``.qasm`` file and return the path."""
+    path = Path(path)
+    path.write_text(circuit_to_qasm(circuit))
+    return path

@@ -1,0 +1,240 @@
+"""The shared routing loop: execute ready gates, insert SWAPs when stuck.
+
+Every router in this repository (Qlosure and the baselines) follows the same
+outer loop, which matches Algorithm 1 of the paper:
+
+1. gates whose dependences are satisfied and whose operands are adjacent
+   under the current layout are executed immediately;
+2. when no gate can be executed, the router-specific heuristic picks one
+   SWAP, which is applied to the layout and appended to the output circuit;
+3. repeat until every gate has been executed.
+
+Concrete routers override :meth:`RoutingEngine.select_swap` (and optionally
+the execution hooks) to implement their SWAP-selection policy.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDAG
+from repro.circuit.gate import Gate
+from repro.hardware.coupling import CouplingGraph
+from repro.routing.layout import Layout
+from repro.routing.result import RoutingResult
+
+
+class RouterError(RuntimeError):
+    """Raised when a router cannot make progress (should never happen on connected devices)."""
+
+
+@dataclass
+class RoutingState:
+    """Mutable traversal state shared between the engine and the heuristics."""
+
+    circuit: QuantumCircuit
+    coupling: CouplingGraph
+    dag: CircuitDAG
+    layout: Layout
+    distance: list[list[int]]
+    pending_predecessors: dict[int, int]
+    front: set[int] = field(default_factory=set)
+    executed: set[int] = field(default_factory=set)
+    emitted: list[Gate] = field(default_factory=list)
+    swaps_since_progress: int = 0
+    cost_evaluations: int = 0
+
+    def gate(self, index: int) -> Gate:
+        """The gate at circuit index ``index``."""
+        return self.circuit.gates[index]
+
+    def is_executable(self, index: int) -> bool:
+        """True when the gate's operands are adjacent under the current layout."""
+        gate = self.gate(index)
+        if gate.num_qubits < 2 or gate.is_barrier:
+            return True
+        p1 = self.layout.physical(gate.qubits[0])
+        p2 = self.layout.physical(gate.qubits[1])
+        return self.coupling.are_adjacent(p1, p2)
+
+    def unresolved_front(self) -> list[int]:
+        """Front-layer two-qubit gates that are not executable yet."""
+        return [
+            index
+            for index in self.front
+            if self.gate(index).is_two_qubit and not self.is_executable(index)
+        ]
+
+    def front_physical_qubits(self) -> set[int]:
+        """Physical qubits hosting operands of unresolved front-layer gates (``Pfront``)."""
+        physical: set[int] = set()
+        for index in self.unresolved_front():
+            for logical in self.gate(index).qubits:
+                physical.add(self.layout.physical(logical))
+        return physical
+
+    def candidate_swaps(self) -> list[tuple[int, int]]:
+        """Candidate SWAPs: edges touching at least one front-layer physical qubit."""
+        candidates: set[tuple[int, int]] = set()
+        for p1 in self.front_physical_qubits():
+            for p2 in self.coupling.neighbors(p1):
+                candidates.add((min(p1, p2), max(p1, p2)))
+        return sorted(candidates)
+
+    def gate_distance(self, index: int, layout: Layout | None = None) -> int:
+        """Distance between the physical operands of a two-qubit gate."""
+        layout = layout or self.layout
+        gate = self.gate(index)
+        p1 = layout.physical(gate.qubits[0])
+        p2 = layout.physical(gate.qubits[1])
+        return self.distance[p1][p2]
+
+
+class RoutingEngine:
+    """Base class implementing the execute-or-swap routing loop."""
+
+    #: Human-readable router name used in results and benchmark tables.
+    name = "base-router"
+
+    def __init__(self, coupling: CouplingGraph, seed: int = 0):
+        if not coupling.is_connected():
+            raise ValueError("routing requires a connected coupling graph")
+        self.coupling = coupling
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- router-specific policy ------------------------------------------------
+
+    def select_swap(self, state: RoutingState) -> tuple[int, int]:
+        """Pick the SWAP (physical qubit pair) to apply when no gate is executable."""
+        raise NotImplementedError
+
+    def on_circuit_start(self, state: RoutingState) -> None:
+        """Hook called once before routing starts (pre-computation)."""
+
+    def on_gate_executed(self, state: RoutingState, index: int) -> None:
+        """Hook called after a two-qubit gate has been executed."""
+
+    def on_swap_applied(self, state: RoutingState, swap: tuple[int, int]) -> None:
+        """Hook called after a SWAP has been committed."""
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Layout | dict[int, int] | Sequence[int] | None = None,
+    ) -> RoutingResult:
+        """Route ``circuit`` onto the engine's coupling graph.
+
+        Returns a :class:`~repro.routing.result.RoutingResult` whose routed
+        circuit uses physical qubit indices and contains the inserted SWAPs.
+        """
+        start_time = time.perf_counter()
+        layout = self._coerce_layout(circuit, initial_layout)
+        initial_placement = layout.as_dict()
+        dag = CircuitDAG(circuit, include_single_qubit=True)
+        pending = {index: len(dag.predecessors(index)) for index in dag.gate_indices}
+        state = RoutingState(
+            circuit=circuit,
+            coupling=self.coupling,
+            dag=dag,
+            layout=layout,
+            distance=self.coupling.distance_matrix(),
+            pending_predecessors=pending,
+            front={index for index, count in pending.items() if count == 0},
+        )
+        self._rng = random.Random(self.seed)
+        self.on_circuit_start(state)
+
+        total_gates = len(dag.gate_indices)
+        swap_budget = max(10_000, 20 * total_gates + 50 * self.coupling.num_qubits)
+        swaps_applied = 0
+
+        while len(state.executed) < total_gates:
+            progressed = self._execute_ready_gates(state)
+            if len(state.executed) >= total_gates:
+                break
+            if progressed:
+                continue
+            swap = self.select_swap(state)
+            self._apply_swap(state, swap)
+            swaps_applied += 1
+            if swaps_applied > swap_budget:
+                raise RouterError(
+                    f"{self.name} exceeded the SWAP budget ({swap_budget}); "
+                    "the heuristic is not making progress"
+                )
+
+        routed = QuantumCircuit(
+            self.coupling.num_qubits, state.emitted, name=f"{circuit.name}-{self.name}"
+        )
+        return RoutingResult(
+            routed_circuit=routed,
+            initial_layout=initial_placement,
+            final_layout=state.layout.as_dict(),
+            original_depth=circuit.depth(),
+            mapper_name=self.name,
+            runtime_seconds=time.perf_counter() - start_time,
+            cost_evaluations=state.cost_evaluations,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _coerce_layout(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Layout | dict[int, int] | Sequence[int] | None,
+    ) -> Layout:
+        if circuit.num_qubits > self.coupling.num_qubits:
+            raise ValueError(
+                f"circuit uses {circuit.num_qubits} qubits but the device only has "
+                f"{self.coupling.num_qubits}"
+            )
+        if initial_layout is None:
+            return Layout.trivial(circuit.num_qubits, self.coupling.num_qubits)
+        if isinstance(initial_layout, Layout):
+            return initial_layout.copy()
+        return Layout(circuit.num_qubits, self.coupling.num_qubits, initial_layout)
+
+    def _execute_ready_gates(self, state: RoutingState) -> bool:
+        """Execute every ready gate whose operands are adjacent; return True if any ran."""
+        progressed = False
+        ready = True
+        while ready:
+            ready = False
+            for index in sorted(state.front):
+                if not state.is_executable(index):
+                    continue
+                self._emit_gate(state, index)
+                self._retire(state, index)
+                if state.gate(index).is_two_qubit:
+                    self.on_gate_executed(state, index)
+                ready = True
+                progressed = True
+        return progressed
+
+    def _emit_gate(self, state: RoutingState, index: int) -> None:
+        gate = state.gate(index)
+        physical = tuple(state.layout.physical(q) for q in gate.qubits)
+        state.emitted.append(Gate(gate.name, physical, gate.params, gate.label))
+
+    def _retire(self, state: RoutingState, index: int) -> None:
+        state.front.discard(index)
+        state.executed.add(index)
+        for successor in state.dag.successors(index):
+            state.pending_predecessors[successor] -= 1
+            if state.pending_predecessors[successor] == 0:
+                state.front.add(successor)
+
+    def _apply_swap(self, state: RoutingState, swap: tuple[int, int]) -> None:
+        p1, p2 = swap
+        if not self.coupling.are_adjacent(p1, p2):
+            raise RouterError(f"{self.name} proposed a SWAP on non-adjacent qubits {swap}")
+        state.layout.swap_physical(p1, p2)
+        state.emitted.append(Gate("swap", (p1, p2)))
+        self.on_swap_applied(state, swap)

@@ -1,0 +1,75 @@
+"""Routing results: the mapped circuit plus the bookkeeping the evaluation uses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.metrics import swap_count
+
+
+@dataclass
+class RoutingResult:
+    """Output of a routing run.
+
+    Attributes:
+        routed_circuit: the mapped circuit; gate operands are *physical*
+            qubit indices and inserted SWAPs are explicit ``swap`` gates.
+        initial_layout: logical -> physical placement at the start of the
+            routed circuit (what a correctness check must start from).
+        final_layout: logical -> physical placement after the last gate.
+        original_depth: depth of the input circuit.
+        mapper_name: name of the routing algorithm that produced the result.
+        runtime_seconds: wall-clock mapping time.
+        cost_evaluations: number of candidate-SWAP cost evaluations performed
+            (a machine-independent proxy for mapping effort).
+    """
+
+    routed_circuit: QuantumCircuit
+    initial_layout: dict[int, int]
+    final_layout: dict[int, int]
+    original_depth: int
+    mapper_name: str = "router"
+    runtime_seconds: float = 0.0
+    cost_evaluations: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def swaps_added(self) -> int:
+        """Number of SWAP gates inserted by the router."""
+        return swap_count(self.routed_circuit)
+
+    @property
+    def routed_depth(self) -> int:
+        """Depth of the routed circuit."""
+        return self.routed_circuit.depth()
+
+    @property
+    def depth_overhead(self) -> int:
+        """Depth increase over the original circuit (the paper's Delta)."""
+        return self.routed_depth - self.original_depth
+
+    def depth_factor(self, reference_depth: int | None = None) -> float:
+        """Routed depth relative to a reference depth (defaults to the original)."""
+        reference = reference_depth if reference_depth is not None else self.original_depth
+        if reference <= 0:
+            raise ValueError("reference depth must be positive")
+        return self.routed_depth / reference
+
+    def summary(self) -> dict[str, float | int | str]:
+        """A flat summary dictionary (used by the benchmark harness)."""
+        return {
+            "mapper": self.mapper_name,
+            "swaps": self.swaps_added,
+            "depth": self.routed_depth,
+            "original_depth": self.original_depth,
+            "depth_overhead": self.depth_overhead,
+            "runtime_seconds": round(self.runtime_seconds, 6),
+            "cost_evaluations": self.cost_evaluations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RoutingResult(mapper={self.mapper_name!r}, swaps={self.swaps_added}, "
+            f"depth={self.routed_depth}, time={self.runtime_seconds:.3f}s)"
+        )

@@ -1,0 +1,50 @@
+"""Tests for the design-choice sensitivity sweeps."""
+
+from repro.analysis.sensitivity import (
+    best_value,
+    decay_increment_sweep,
+    window_constant_sweep,
+)
+from repro.benchgen.qasmbench import qft_circuit
+from repro.benchgen.queko import generate_queko_circuit
+from repro.hardware.topologies import grid_topology
+
+
+GRID = grid_topology(3, 3)
+DEVICE = grid_topology(4, 4)
+
+
+def _circuits():
+    return [generate_queko_circuit(GRID, depth=5, seed=s) for s in range(2)]
+
+
+class TestWindowSweep:
+    def test_sweep_covers_requested_constants(self):
+        results = window_constant_sweep(_circuits(), DEVICE, constants=[1, 5])
+        assert [r.value for r in results] == [1, 5]
+        assert all(r.parameter == "lookahead_constant" for r in results)
+        assert all(r.mean_swaps >= 0 for r in results)
+
+    def test_default_constants_derived_from_degree(self):
+        results = window_constant_sweep([qft_circuit(6)], DEVICE)
+        values = [r.value for r in results]
+        assert DEVICE.max_degree() + 1 in values
+        assert 1 in values
+
+    def test_per_circuit_results_recorded(self):
+        results = window_constant_sweep(_circuits(), DEVICE, constants=[5])
+        assert len(results[0].per_circuit) == 2
+
+
+class TestDecaySweep:
+    def test_sweep_values(self):
+        results = decay_increment_sweep(_circuits(), DEVICE, increments=[0.0, 0.001])
+        assert [r.value for r in results] == [0.0, 0.001]
+        assert all(r.parameter == "decay_increment" for r in results)
+
+
+class TestBestValue:
+    def test_best_value_picks_minimum(self):
+        results = window_constant_sweep(_circuits(), DEVICE, constants=[1, 5])
+        best = best_value(results, metric="mean_swaps")
+        assert best.mean_swaps == min(r.mean_swaps for r in results)

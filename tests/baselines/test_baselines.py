@@ -1,0 +1,118 @@
+"""Tests for the baseline mappers."""
+
+import pytest
+
+from repro.baselines.cirq_like import CirqLikeRouter
+from repro.baselines.greedy import GreedyDistanceRouter
+from repro.baselines.qmap_like import QmapLikeRouter
+from repro.baselines.registry import all_mappers, available_baselines, baseline_router
+from repro.baselines.sabre import LightSabreRouter, SabreRouter
+from repro.baselines.tket_like import TketLikeRouter
+from repro.benchgen.qasmbench import qft_circuit
+from repro.benchgen.random_circuits import random_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.validation import verify_routing
+from repro.core.mapper import QlosureMapper
+from repro.hardware.topologies import grid_topology, line_topology
+
+
+GRID = grid_topology(4, 4)
+ALL_ROUTERS = (
+    SabreRouter,
+    LightSabreRouter,
+    QmapLikeRouter,
+    CirqLikeRouter,
+    TketLikeRouter,
+    GreedyDistanceRouter,
+)
+
+
+class TestAllBaselinesRouteCorrectly:
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_far_cnot(self, router_cls, line5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        result = router_cls(line5).run(circuit)
+        verify_routing(circuit, result.routed_circuit, line5.edges(), result.initial_layout)
+        assert result.swaps_added == 3
+
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_qft_is_valid(self, router_cls):
+        circuit = qft_circuit(7)
+        result = router_cls(GRID).run(circuit)
+        verify_routing(circuit, result.routed_circuit, GRID.edges(), result.initial_layout)
+
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_random_circuit_is_valid(self, router_cls):
+        circuit = random_circuit(10, 60, seed=13)
+        result = router_cls(GRID).run(circuit)
+        verify_routing(circuit, result.routed_circuit, GRID.edges(), result.initial_layout)
+
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_no_swaps_when_not_needed(self, router_cls, line5):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        result = router_cls(line5).run(circuit)
+        assert result.swaps_added == 0
+
+    @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+    def test_mapper_names_are_distinct(self, router_cls):
+        assert router_cls.name != "base-router"
+
+
+class TestSabreSpecifics:
+    def test_extended_set_is_bounded(self):
+        circuit = random_circuit(10, 120, seed=3)
+        router = SabreRouter(GRID)
+        result = router.run(circuit)
+        assert result.swaps_added > 0
+
+    def test_lightsabre_release_valve_configured(self):
+        assert LightSabreRouter.release_valve_threshold > 0
+        assert SabreRouter.release_valve_threshold == 0
+
+    def test_decay_reset_on_execution(self, line5):
+        router = SabreRouter(line5)
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        circuit.cx(0, 4)
+        result = router.run(circuit)
+        verify_routing(circuit, result.routed_circuit, line5.edges(), result.initial_layout)
+
+
+class TestQmapSpecifics:
+    def test_search_finds_short_swap_sequences(self, line5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(1, 3)
+        result = QmapLikeRouter(line5).run(circuit)
+        assert result.swaps_added == 1
+
+    def test_node_budget_fallback(self):
+        router = QmapLikeRouter(GRID)
+        router.node_budget = 1  # force the greedy fallback path
+        circuit = QuantumCircuit(16)
+        circuit.cx(0, 15)
+        result = router.run(circuit)
+        verify_routing(circuit, result.routed_circuit, GRID.edges(), result.initial_layout)
+
+
+class TestRegistry:
+    def test_available_baselines(self):
+        assert set(available_baselines()) == {"lightsabre", "qmap", "cirq", "tket", "greedy"}
+
+    def test_lookup_by_alias(self):
+        assert isinstance(baseline_router("pytket", GRID), TketLikeRouter)
+        assert isinstance(baseline_router("SABRE", GRID), SabreRouter)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            baseline_router("nonexistent", GRID)
+
+    def test_all_mappers_includes_qlosure(self):
+        mappers = all_mappers(GRID)
+        assert set(mappers) == {"lightsabre", "qmap", "cirq", "tket", "qlosure"}
+        assert isinstance(mappers["qlosure"], QlosureMapper)
+
+    def test_all_mappers_can_exclude_qlosure(self):
+        assert "qlosure" not in all_mappers(GRID, include_qlosure=False)

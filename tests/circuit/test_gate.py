@@ -1,0 +1,74 @@
+"""Tests for the gate model."""
+
+import pytest
+
+from repro.circuit.gate import Gate, cx, h, swap
+
+
+class TestConstruction:
+    def test_name_is_lowercased(self):
+        assert Gate("CX", (0, 1)).name == "cx"
+
+    def test_qubits_are_ints(self):
+        gate = Gate("cx", ("0", "1"))
+        assert gate.qubits == (0, 1)
+
+    def test_repeated_operands_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("h", ())
+
+    def test_barrier_may_have_no_operands(self):
+        assert Gate("barrier", ()).is_barrier
+
+    def test_params_are_floats(self):
+        gate = Gate("rz", (0,), (1,))
+        assert gate.params == (1.0,)
+
+
+class TestClassification:
+    def test_two_qubit(self):
+        assert cx(0, 1).is_two_qubit
+        assert not h(0).is_two_qubit
+
+    def test_swap(self):
+        assert swap(0, 1).is_swap
+        assert swap(0, 1).is_two_qubit
+        assert not cx(0, 1).is_swap
+
+    def test_measurement(self):
+        assert Gate("measure", (0,)).is_measurement
+
+    def test_num_qubits(self):
+        assert Gate("ccx", (0, 1, 2)).num_qubits == 3
+
+
+class TestTransformation:
+    def test_remap_with_dict(self):
+        gate = cx(0, 1).remap({0: 5, 1: 7})
+        assert gate.qubits == (5, 7)
+        assert gate.name == "cx"
+
+    def test_remap_with_list(self):
+        gate = cx(0, 2).remap([10, 11, 12])
+        assert gate.qubits == (10, 12)
+
+    def test_with_qubits(self):
+        gate = Gate("rz", (0,), (0.5,)).with_qubits((3,))
+        assert gate.qubits == (3,)
+        assert gate.params == (0.5,)
+
+    def test_gates_are_immutable_and_hashable(self):
+        a = cx(0, 1)
+        b = cx(0, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        with pytest.raises(AttributeError):
+            a.name = "cz"
+
+    def test_repr(self):
+        assert repr(cx(0, 1)) == "cx q[0], q[1]"
+        assert "rz(0.5)" in repr(Gate("rz", (2,), (0.5,)))

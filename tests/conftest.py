@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.qasmbench import ghz_circuit, qft_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.topologies import grid_topology, line_topology, ring_topology
+
+
+@pytest.fixture
+def line5() -> CouplingGraph:
+    """A 5-qubit linear device."""
+    return line_topology(5)
+
+
+@pytest.fixture
+def ring6() -> CouplingGraph:
+    """A 6-qubit ring device."""
+    return ring_topology(6)
+
+
+@pytest.fixture
+def grid3x3() -> CouplingGraph:
+    """A 3x3 grid device."""
+    return grid_topology(3, 3)
+
+
+@pytest.fixture
+def grid4x4() -> CouplingGraph:
+    """A 4x4 grid device."""
+    return grid_topology(4, 4)
+
+
+@pytest.fixture
+def paper_example_circuit() -> QuantumCircuit:
+    """The 6-qubit motivating example of Fig. 1b of the paper."""
+    circuit = QuantumCircuit(6, name="fig1-example")
+    circuit.cx(0, 1)  # G0
+    circuit.cx(2, 3)  # G1
+    circuit.cx(1, 2)  # G2
+    circuit.cx(3, 5)  # G3
+    circuit.cx(0, 2)  # G4
+    circuit.cx(1, 5)  # G5
+    return circuit
+
+
+@pytest.fixture
+def paper_example_device() -> CouplingGraph:
+    """The 6-qubit QPU topology of Fig. 1c of the paper.
+
+    Edges: p0-p1, p1-p2, p2-p4, p1-p3 (p0/p3 row), p4-p5 chain -- reproduced
+    from the figure as a tree-shaped 6-qubit device.
+    """
+    edges = [(0, 1), (1, 2), (1, 3), (2, 4), (4, 5)]
+    return CouplingGraph(6, edges, name="fig1-device")
+
+
+@pytest.fixture
+def ghz8() -> QuantumCircuit:
+    """An 8-qubit GHZ circuit."""
+    return ghz_circuit(8)
+
+
+@pytest.fixture
+def qft6() -> QuantumCircuit:
+    """A 6-qubit QFT circuit."""
+    return qft_circuit(6)

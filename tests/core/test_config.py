@@ -1,0 +1,59 @@
+"""Tests for the Qlosure configuration and ablation variants."""
+
+import pytest
+
+from repro.core.config import QlosureConfig
+
+
+class TestDefaults:
+    def test_full_config_enables_everything(self):
+        config = QlosureConfig.full()
+        assert config.use_dependence_weights
+        assert config.use_layer_discount
+        assert config.use_layer_normalization
+        assert config.use_decay
+
+    def test_decay_increment_matches_paper(self):
+        assert QlosureConfig().decay_increment == pytest.approx(0.001)
+
+    def test_config_is_frozen(self):
+        config = QlosureConfig()
+        with pytest.raises(Exception):
+            config.seed = 3
+
+
+class TestVariants:
+    def test_distance_only_disables_lookahead_and_weights(self):
+        config = QlosureConfig.distance_only()
+        assert not config.use_dependence_weights
+        assert not config.use_decay
+        assert config.lookahead_only_front
+
+    def test_layer_adjusted_keeps_layers_without_weights(self):
+        config = QlosureConfig.layer_adjusted()
+        assert not config.use_dependence_weights
+        assert config.use_layer_discount
+        assert not config.lookahead_only_front
+
+    def test_dependency_weighted_is_full(self):
+        assert QlosureConfig.dependency_weighted() == QlosureConfig.full()
+
+    def test_overrides(self):
+        config = QlosureConfig.full(seed=7, max_lookahead_gates=64)
+        assert config.seed == 7
+        assert config.max_lookahead_gates == 64
+
+
+class TestLookaheadConstant:
+    def test_defaults_to_degree_plus_one(self):
+        config = QlosureConfig()
+        assert config.effective_lookahead_constant(3) == 4
+        assert config.effective_lookahead_constant(8) == 9
+
+    def test_explicit_constant_wins(self):
+        config = QlosureConfig(lookahead_constant=6)
+        assert config.effective_lookahead_constant(3) == 6
+
+    def test_constant_is_at_least_one(self):
+        config = QlosureConfig(lookahead_constant=0)
+        assert config.effective_lookahead_constant(3) == 1

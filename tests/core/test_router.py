@@ -1,0 +1,131 @@
+"""Tests for the Qlosure router and mapper."""
+
+import pytest
+
+from repro.benchgen.qasmbench import ghz_circuit, qft_circuit
+from repro.benchgen.random_circuits import random_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.validation import verify_routing
+from repro.core.bidirectional import bidirectional_initial_layout, reversed_circuit
+from repro.core.config import QlosureConfig
+from repro.core.mapper import QlosureMapper, map_circuit
+from repro.core.router import QlosureRouter
+from repro.hardware.topologies import grid_topology, line_topology
+from repro.routing.layout import Layout
+
+
+GRID = grid_topology(4, 4)
+
+
+class TestRouterCorrectness:
+    def test_trivial_circuit(self, line5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        result = QlosureRouter(line5).run(circuit)
+        assert result.swaps_added == 0
+
+    def test_far_cnot_minimal_swaps(self, line5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        result = QlosureRouter(line5).run(circuit)
+        assert result.swaps_added == 3
+        verify_routing(circuit, result.routed_circuit, line5.edges(), result.initial_layout)
+
+    def test_paper_example_is_routed_correctly(
+        self, paper_example_circuit, paper_example_device
+    ):
+        result = QlosureRouter(paper_example_device).run(paper_example_circuit)
+        verify_routing(
+            paper_example_circuit,
+            result.routed_circuit,
+            paper_example_device.edges(),
+            result.initial_layout,
+        )
+        assert result.swaps_added >= 1
+
+    def test_qft_routing_is_valid(self):
+        circuit = qft_circuit(8)
+        result = QlosureRouter(GRID).run(circuit)
+        verify_routing(circuit, result.routed_circuit, GRID.edges(), result.initial_layout)
+
+    def test_random_circuit_routing_is_valid(self):
+        circuit = random_circuit(10, 80, seed=11)
+        result = QlosureRouter(GRID).run(circuit)
+        verify_routing(circuit, result.routed_circuit, GRID.edges(), result.initial_layout)
+
+    def test_all_ablation_variants_route_correctly(self):
+        circuit = random_circuit(9, 50, seed=5)
+        for config in (
+            QlosureConfig.distance_only(),
+            QlosureConfig.layer_adjusted(),
+            QlosureConfig.dependency_weighted(),
+        ):
+            result = QlosureRouter(GRID, config).run(circuit)
+            verify_routing(circuit, result.routed_circuit, GRID.edges(), result.initial_layout)
+
+    def test_deterministic_given_seed(self):
+        circuit = random_circuit(8, 60, seed=2)
+        first = QlosureRouter(GRID, QlosureConfig(seed=42)).run(circuit)
+        second = QlosureRouter(GRID, QlosureConfig(seed=42)).run(circuit)
+        assert first.routed_circuit == second.routed_circuit
+
+    def test_custom_initial_layout(self, line5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = QlosureRouter(line5).run(circuit, Layout(2, 5, {0: 0, 1: 4}))
+        verify_routing(circuit, result.routed_circuit, line5.edges(), result.initial_layout)
+        assert result.swaps_added == 3
+
+
+class TestMapper:
+    def test_map_circuit_convenience(self):
+        result = map_circuit(ghz_circuit(10), GRID, validate=True)
+        assert result.mapper_name == "qlosure"
+        assert result.swaps_added >= 0
+
+    def test_metadata_contains_lifting_stats(self):
+        result = QlosureMapper(GRID).map(ghz_circuit(10))
+        assert result.metadata["gate_instances"] == 10
+        assert result.metadata["macro_gates"] == 2
+        assert result.metadata["compression_ratio"] == pytest.approx(5.0)
+
+    def test_validation_flag(self):
+        mapper = QlosureMapper(GRID, validate=True)
+        result = mapper.map(qft_circuit(6))
+        assert result.swaps_added >= 0
+
+    def test_mapper_name_reflects_bidirectional(self):
+        assert QlosureMapper(GRID).name == "qlosure"
+        assert QlosureMapper(GRID, bidirectional_passes=1).name == "qlosure-bidirectional"
+
+    def test_bidirectional_mapping_is_valid(self):
+        circuit = random_circuit(8, 40, seed=9)
+        mapper = QlosureMapper(GRID, bidirectional_passes=1, validate=True)
+        result = mapper.map(circuit)
+        assert result.swaps_added >= 0
+
+
+class TestBidirectional:
+    def test_reversed_circuit_reverses_gates(self):
+        circuit = ghz_circuit(4)
+        reverse = reversed_circuit(circuit)
+        assert [g.qubits for g in reverse] == [g.qubits for g in circuit][::-1]
+
+    def test_zero_passes_is_identity_layout(self):
+        layout = bidirectional_initial_layout(ghz_circuit(5), GRID, passes=0)
+        assert layout.as_list() == list(range(5))
+
+    def test_layout_is_valid_placement(self):
+        circuit = random_circuit(10, 60, seed=4)
+        layout = bidirectional_initial_layout(circuit, GRID, passes=1)
+        placed = layout.as_list()
+        assert len(set(placed)) == circuit.num_qubits
+        assert all(0 <= p < GRID.num_qubits for p in placed)
+
+    def test_bidirectional_layout_not_worse_on_average(self):
+        """A forward/backward pass should help (or at least not badly hurt) QFT routing."""
+        circuit = qft_circuit(8)
+        trivial = map_circuit(circuit, GRID).swaps_added
+        improved_layout = bidirectional_initial_layout(circuit, GRID, passes=1)
+        improved = map_circuit(circuit, GRID, initial_layout=improved_layout).swaps_added
+        assert improved <= trivial * 1.25

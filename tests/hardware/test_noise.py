@@ -1,0 +1,105 @@
+"""Tests for noise models and error-aware metrics."""
+
+import math
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.noise import (
+    NoiseModel,
+    error_weighted_distance,
+    success_probability,
+)
+from repro.hardware.topologies import grid_topology, line_topology
+
+
+LINE = line_topology(4)
+
+
+class TestNoiseModel:
+    def test_uniform_model_covers_all_edges_and_qubits(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.02)
+        assert len(noise.two_qubit_error) == LINE.num_edges()
+        assert len(noise.single_qubit_error) == LINE.num_qubits
+        assert noise.edge_error(0, 1) == pytest.approx(0.02)
+
+    def test_edge_error_is_order_insensitive(self):
+        noise = NoiseModel.uniform(LINE)
+        assert noise.edge_error(1, 0) == noise.edge_error(0, 1)
+
+    def test_unknown_edge_rejected(self):
+        noise = NoiseModel.uniform(LINE)
+        with pytest.raises(KeyError):
+            noise.edge_error(0, 3)
+
+    def test_swap_fidelity_is_cubed_edge_fidelity(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.1)
+        assert noise.swap_fidelity(0, 1) == pytest.approx(0.9**3)
+
+    def test_synthetic_model_is_deterministic_and_heterogeneous(self):
+        a = NoiseModel.synthetic(LINE, seed=3)
+        b = NoiseModel.synthetic(LINE, seed=3)
+        c = NoiseModel.synthetic(LINE, seed=4)
+        assert a.two_qubit_error == b.two_qubit_error
+        assert a.two_qubit_error != c.two_qubit_error
+        assert len(set(a.two_qubit_error.values())) > 1
+
+    def test_synthetic_errors_are_bounded(self):
+        noise = NoiseModel.synthetic(grid_topology(3, 3), spread=2.0, seed=1)
+        assert all(0 < e <= 0.5 for e in noise.two_qubit_error.values())
+
+
+class TestSuccessProbability:
+    def test_empty_circuit_has_unit_probability(self):
+        noise = NoiseModel.uniform(LINE)
+        assert success_probability(QuantumCircuit(4), noise) == pytest.approx(1.0)
+
+    def test_single_cx_probability(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.05)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        assert success_probability(circuit, noise) == pytest.approx(0.95)
+
+    def test_swap_counts_as_three_cx(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.05)
+        circuit = QuantumCircuit(4)
+        circuit.swap(0, 1)
+        assert success_probability(circuit, noise) == pytest.approx(0.95**3)
+
+    def test_probability_decreases_with_circuit_size(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.02)
+        short = QuantumCircuit(4)
+        short.cx(0, 1)
+        long = QuantumCircuit(4)
+        for _ in range(10):
+            long.cx(0, 1)
+        assert success_probability(long, noise) < success_probability(short, noise)
+
+    def test_readout_included_when_requested(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.0, readout_error=0.1)
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 1)
+        with_readout = success_probability(circuit, noise, include_readout=True)
+        assert with_readout == pytest.approx(0.9**2)
+
+
+class TestErrorWeightedDistance:
+    def test_zero_on_diagonal(self):
+        noise = NoiseModel.uniform(LINE)
+        matrix = error_weighted_distance(LINE, noise)
+        assert all(matrix[q][q] == 0.0 for q in range(4))
+
+    def test_uniform_errors_recover_hop_count_shape(self):
+        noise = NoiseModel.uniform(LINE, two_qubit_error=0.01)
+        matrix = error_weighted_distance(LINE, noise)
+        unit = matrix[0][1]
+        assert matrix[0][3] == pytest.approx(3 * unit)
+
+    def test_prefers_low_error_route(self):
+        """On a 3x3 grid, the error distance between corners should route around a bad edge."""
+        grid = grid_topology(3, 3)
+        noise = NoiseModel.uniform(grid, two_qubit_error=0.01)
+        noise.two_qubit_error[(0, 1)] = 0.4  # poison one edge out of the corner
+        matrix = error_weighted_distance(grid, noise)
+        direct_bad = -3 * math.log(0.6) + -3 * math.log(0.99)
+        assert matrix[0][2] < direct_bad

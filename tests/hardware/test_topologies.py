@@ -1,0 +1,99 @@
+"""Tests for topology families and the concrete paper back-ends."""
+
+import pytest
+
+from repro.hardware.backends import (
+    ankaa3,
+    available_backends,
+    backend_by_name,
+    grid_9x9,
+    grid_16x16,
+    sherbrooke,
+    sherbrooke_2x,
+)
+from repro.hardware.topologies import (
+    grid_topology,
+    heavy_hex_topology,
+    king_grid_topology,
+    line_topology,
+    ring_topology,
+)
+
+
+class TestGenericFamilies:
+    def test_line(self):
+        line = line_topology(7)
+        assert line.num_edges() == 6
+        assert line.max_degree() == 2
+
+    def test_ring(self):
+        ring = ring_topology(8)
+        assert ring.num_edges() == 8
+        assert all(ring.degree(q) == 2 for q in range(8))
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_grid(self):
+        grid = grid_topology(3, 4)
+        assert grid.num_qubits == 12
+        assert grid.num_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert grid.max_degree() == 4
+
+    def test_king_grid_interior_degree(self):
+        grid = king_grid_topology(4, 4)
+        # Interior qubit (1,1) -> index 5 has 8 neighbours.
+        assert grid.degree(5) == 8
+        assert grid.degree(0) == 3
+
+    def test_heavy_hex_degree_bound(self):
+        lattice = heavy_hex_topology(5, 11)
+        assert lattice.max_degree() <= 3
+        assert lattice.is_connected()
+
+    def test_heavy_hex_too_small(self):
+        with pytest.raises(ValueError):
+            heavy_hex_topology(1, 3)
+
+
+class TestPaperBackends:
+    def test_sherbrooke_shape(self):
+        device = sherbrooke()
+        assert device.num_qubits == 127
+        assert device.max_degree() == 3
+        assert device.is_connected()
+
+    def test_ankaa3_shape(self):
+        device = ankaa3()
+        assert device.num_qubits == 82
+        assert device.max_degree() == 4
+        assert device.is_connected()
+
+    def test_sherbrooke_2x_shape(self):
+        device = sherbrooke_2x()
+        assert device.num_qubits == 256
+        assert device.is_connected()
+        # The bridging qubits connect the two Sherbrooke copies.
+        assert device.distance(0, 200) > 0
+
+    def test_custom_grids(self):
+        assert grid_9x9().num_qubits == 81
+        assert grid_16x16().num_qubits == 256
+        assert grid_9x9().max_degree() == 8
+
+    def test_backend_lookup(self):
+        assert backend_by_name("Sherbrooke").num_qubits == 127
+        assert backend_by_name("ankaa-3").num_qubits == 82
+        with pytest.raises(KeyError):
+            backend_by_name("unknown-device")
+
+    def test_available_backends_resolve(self):
+        for name in available_backends():
+            assert backend_by_name(name).num_qubits > 0
+
+    def test_sherbrooke_is_sparser_than_ankaa(self):
+        """The paper notes Sherbrooke (deg<=3) is harder to route on than Ankaa (deg<=4)."""
+        sherbrooke_density = sherbrooke().num_edges() / sherbrooke().num_qubits
+        ankaa_density = ankaa3().num_edges() / ankaa3().num_qubits
+        assert sherbrooke_density < ankaa_density

@@ -1,0 +1,71 @@
+"""Property-based tests of the lifting and QASM round-trip invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.affine.dependence import dependence_weights
+from repro.affine.lifter import lift_circuit
+from repro.benchgen.random_circuits import random_circuit
+from repro.circuit.dag import CircuitDAG
+from repro.qasm.loader import circuit_from_qasm
+from repro.qasm.writer import circuit_to_qasm
+
+
+circuit_strategy = st.builds(
+    random_circuit,
+    num_qubits=st.integers(2, 10),
+    num_gates=st.integers(0, 60),
+    two_qubit_fraction=st.floats(0.0, 1.0),
+    seed=st.integers(0, 100_000),
+)
+
+
+class TestLiftingProperties:
+    @given(circuit_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_lift_roundtrip_preserves_circuit(self, circuit):
+        assert lift_circuit(circuit).to_circuit() == circuit
+
+    @given(circuit_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_macro_gate_count_never_exceeds_gate_count(self, circuit):
+        program = lift_circuit(circuit)
+        assert program.macro_gate_count() <= max(len(circuit), 1)
+        assert program.num_gate_instances == len(circuit)
+
+    @given(circuit_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_weights_bounded_by_later_gates(self, circuit):
+        """omega(g) only counts gates scheduled after g, so it is bounded by them."""
+        weights = dependence_weights(circuit)
+        total = len(weights)
+        for time, weight in weights.items():
+            assert 0 <= weight <= total - 1 - time
+
+    @given(circuit_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_weights_dominate_successor_weights(self, circuit):
+        """descendants(g) contains every successor s and all of s's descendants,
+        so omega(g) >= omega(s) + 1 for every immediate successor s."""
+        dag = CircuitDAG(circuit)
+        counts = dag.descendant_counts()
+        for index in dag.gate_indices:
+            for successor in dag.successors(index):
+                assert counts[index] >= counts[successor] + 1
+
+
+class TestQasmRoundTripProperties:
+    @given(circuit_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_writer_loader_roundtrip(self, circuit):
+        recovered = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert len(recovered) == len(circuit)
+        assert [(g.name, g.qubits) for g in recovered] == [
+            (g.name, g.qubits) for g in circuit
+        ]
+
+    @given(circuit_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_depth_and_counts(self, circuit):
+        recovered = circuit_from_qasm(circuit_to_qasm(circuit))
+        assert recovered.depth() == circuit.depth()
+        assert recovered.count_ops() == circuit.count_ops()

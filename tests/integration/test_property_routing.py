@@ -1,0 +1,92 @@
+"""Property-based tests of the routing stack: every mapper output must be valid."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cirq_like import CirqLikeRouter
+from repro.baselines.greedy import GreedyDistanceRouter
+from repro.baselines.sabre import LightSabreRouter
+from repro.baselines.tket_like import TketLikeRouter
+from repro.benchgen.random_circuits import random_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.metrics import swap_count, two_qubit_gate_count
+from repro.circuit.validation import verify_routing
+from repro.core.config import QlosureConfig
+from repro.core.router import QlosureRouter
+from repro.hardware.topologies import grid_topology, line_topology, ring_topology
+
+
+DEVICES = [line_topology(9), ring_topology(9), grid_topology(3, 3)]
+
+circuit_strategy = st.builds(
+    random_circuit,
+    num_qubits=st.integers(2, 9),
+    num_gates=st.integers(1, 40),
+    two_qubit_fraction=st.floats(0.3, 1.0),
+    seed=st.integers(0, 10_000),
+)
+
+
+class TestQlosureProperties:
+    @given(circuit_strategy, st.sampled_from(range(len(DEVICES))))
+    @settings(max_examples=30, deadline=None)
+    def test_routed_circuit_is_always_valid(self, circuit, device_index):
+        device = DEVICES[device_index]
+        result = QlosureRouter(device).run(circuit)
+        verify_routing(circuit, result.routed_circuit, device.edges(), result.initial_layout)
+
+    @given(circuit_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_gate_counts_preserved_up_to_swaps(self, circuit):
+        device = DEVICES[2]
+        result = QlosureRouter(device).run(circuit)
+        routed = result.routed_circuit
+        assert len(routed) == len(circuit) + swap_count(routed)
+        assert two_qubit_gate_count(routed) - swap_count(routed) == two_qubit_gate_count(circuit)
+
+    @given(circuit_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_depth_never_below_original(self, circuit):
+        device = DEVICES[0]
+        result = QlosureRouter(device).run(circuit)
+        assert result.routed_depth >= circuit.depth()
+
+    @given(circuit_strategy, st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_ablation_variants_are_valid(self, circuit, variant_index):
+        device = DEVICES[2]
+        configs = [
+            QlosureConfig.distance_only(),
+            QlosureConfig.layer_adjusted(),
+            QlosureConfig.dependency_weighted(),
+            QlosureConfig(use_decay=False),
+        ]
+        result = QlosureRouter(device, configs[variant_index]).run(circuit)
+        verify_routing(circuit, result.routed_circuit, device.edges(), result.initial_layout)
+
+
+class TestBaselineProperties:
+    @given(circuit_strategy, st.sampled_from([0, 1, 2, 3]))
+    @settings(max_examples=30, deadline=None)
+    def test_baselines_produce_valid_routings(self, circuit, router_index):
+        device = DEVICES[2]
+        router_cls = [LightSabreRouter, CirqLikeRouter, TketLikeRouter, GreedyDistanceRouter][
+            router_index
+        ]
+        result = router_cls(device).run(circuit)
+        verify_routing(circuit, result.routed_circuit, device.edges(), result.initial_layout)
+
+    @given(st.integers(2, 9), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_adjacent_only_circuits_need_no_swaps(self, num_qubits, seed):
+        """Circuits whose gates only touch line-adjacent qubits route for free on a line."""
+        device = line_topology(9)
+        circuit = QuantumCircuit(num_qubits)
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(15):
+            q = rng.randrange(num_qubits - 1) if num_qubits > 1 else 0
+            circuit.cx(q, q + 1)
+        result = QlosureRouter(device).run(circuit)
+        assert result.swaps_added == 0
+        assert result.routed_depth == circuit.depth()

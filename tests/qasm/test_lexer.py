@@ -1,0 +1,59 @@
+"""Tests for the QASM tokenizer."""
+
+import pytest
+
+from repro.qasm.lexer import QasmSyntaxError, TokenType, tokenize
+
+
+class TestTokenize:
+    def test_simple_statement(self):
+        tokens = tokenize("cx q[0],q[1];")
+        values = [t.value for t in tokens]
+        assert values == ["cx", "q", "[", "0", "]", ",", "q", "[", "1", "]", ";", ""]
+
+    def test_keywords_are_classified(self):
+        tokens = tokenize("OPENQASM 2.0; qreg q[3];")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.REAL
+        assert tokens[3].type is TokenType.KEYWORD
+
+    def test_identifiers_vs_keywords(self):
+        tokens = tokenize("gate mygate a { h a; }")
+        kinds = {t.value: t.type for t in tokens if t.value}
+        assert kinds["gate"] is TokenType.KEYWORD
+        assert kinds["mygate"] is TokenType.IDENTIFIER
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .5 3e4")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[1].type is TokenType.REAL
+        assert tokens[2].type is TokenType.REAL
+        assert tokens[3].type is TokenType.REAL
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("h q[0]; // apply hadamard\nx q[0];")
+        names = [t.value for t in tokens if t.type is TokenType.IDENTIFIER]
+        assert names == ["h", "q", "x", "q"]
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("h q[0];\n\ncx q[0],q[1];")
+        cx_token = next(t for t in tokens if t.value == "cx")
+        assert cx_token.line == 3
+
+    def test_string_literal(self):
+        tokens = tokenize('include "qelib1.inc";')
+        string_token = tokens[1]
+        assert string_token.type is TokenType.STRING
+        assert string_token.value == "qelib1.inc"
+
+    def test_arrow_symbol(self):
+        tokens = tokenize("measure q[0] -> c[0];")
+        assert any(t.value == "->" and t.type is TokenType.SYMBOL for t in tokens)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QasmSyntaxError):
+            tokenize("h q[0]; @")
+
+    def test_eof_token_is_last(self):
+        tokens = tokenize("h q[0];")
+        assert tokens[-1].type is TokenType.EOF

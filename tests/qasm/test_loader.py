@@ -1,0 +1,111 @@
+"""Tests for building circuits from parsed QASM."""
+
+import math
+
+import pytest
+
+from repro.qasm.loader import QasmSemanticError, circuit_from_qasm, load_qasm_file
+
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestBasicLoading:
+    def test_flattened_registers(self):
+        circuit = circuit_from_qasm(HEADER + "qreg a[2];\nqreg b[3];\ncx a[1], b[0];\n")
+        assert circuit.num_qubits == 5
+        assert circuit.gates[0].qubits == (1, 2)
+
+    def test_paper_fig1_trace(self):
+        source = HEADER + (
+            "qreg q[6];\n"
+            "CX q[0],q[1];\nCX q[2],q[3];\nCX q[1],q[2];\n"
+            "CX q[3],q[5];\nCX q[0],q[2];\nCX q[1],q[5];\n"
+        )
+        circuit = circuit_from_qasm(source)
+        assert len(circuit) == 6
+        assert all(g.name == "cx" for g in circuit)
+        assert circuit.gates[3].qubits == (3, 5)
+
+    def test_whole_register_broadcast(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[4];\nh q;\n")
+        assert len(circuit) == 4
+        assert {g.qubits[0] for g in circuit} == {0, 1, 2, 3}
+
+    def test_register_to_register_broadcast(self):
+        circuit = circuit_from_qasm(HEADER + "qreg a[3];\nqreg b[3];\ncx a, b;\n")
+        assert len(circuit) == 3
+        assert circuit.gates[1].qubits == (1, 4)
+
+    def test_measurements_excluded_by_default(self):
+        source = HEADER + "qreg q[1];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\n"
+        assert len(circuit_from_qasm(source)) == 1
+        assert len(circuit_from_qasm(source, include_measurements=True)) == 2
+
+    def test_barrier_preserved(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[2];\nh q[0];\nbarrier q[0],q[1];\n")
+        assert circuit.gates[1].is_barrier
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            circuit_from_qasm(HEADER + "qreg q[2];\nh r[0];\n")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            circuit_from_qasm(HEADER + "qreg q[2];\nh q[5];\n")
+
+    def test_no_quantum_register_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            circuit_from_qasm(HEADER + "creg c[2];\n")
+
+
+class TestGateExpansion:
+    def test_user_gate_expanded_inline(self):
+        source = HEADER + (
+            "gate bell a, b { h a; cx a, b; }\n"
+            "qreg q[2];\nbell q[0], q[1];\n"
+        )
+        circuit = circuit_from_qasm(source)
+        assert [g.name for g in circuit] == ["h", "cx"]
+
+    def test_nested_user_gates(self):
+        source = HEADER + (
+            "gate inner a, b { cx a, b; }\n"
+            "gate outer a, b { inner a, b; inner b, a; }\n"
+            "qreg q[2];\nouter q[0], q[1];\n"
+        )
+        circuit = circuit_from_qasm(source)
+        assert [g.qubits for g in circuit] == [(0, 1), (1, 0)]
+
+    def test_parameter_substitution(self):
+        source = HEADER + (
+            "gate rot(theta) a { rz(theta/2) a; rz(theta/2) a; }\n"
+            "qreg q[1];\nrot(pi) q[0];\n"
+        )
+        circuit = circuit_from_qasm(source)
+        assert circuit.gates[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_arity_mismatch_rejected(self):
+        source = HEADER + "gate g a, b { cx a, b; }\nqreg q[2];\ng q[0];\n"
+        with pytest.raises(QasmSemanticError):
+            circuit_from_qasm(source)
+
+    def test_ccx_is_decomposed_to_two_qubit_gates(self):
+        circuit = circuit_from_qasm(HEADER + "qreg q[3];\nccx q[0],q[1],q[2];\n")
+        assert all(g.num_qubits <= 2 for g in circuit)
+        assert sum(1 for g in circuit if g.name == "cx") == 6
+
+    def test_ccx_kept_when_decomposition_disabled(self):
+        circuit = circuit_from_qasm(
+            HEADER + "qreg q[3];\nccx q[0],q[1],q[2];\n", decompose_multiqubit=False
+        )
+        assert len(circuit) == 1 and circuit.gates[0].num_qubits == 3
+
+
+class TestFileLoading:
+    def test_load_qasm_file(self, tmp_path):
+        path = tmp_path / "bell.qasm"
+        path.write_text(HEADER + "qreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        circuit = load_qasm_file(path)
+        assert circuit.name == "bell"
+        assert len(circuit) == 2

@@ -1,0 +1,109 @@
+"""Tests for the QASM parser."""
+
+import math
+
+import pytest
+
+from repro.qasm.ast import BarrierStmt, GateCall, MeasureStmt
+from repro.qasm.parser import QasmParseError, evaluate_expression, parse_qasm
+
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestExpressions:
+    def test_numbers(self):
+        assert evaluate_expression("3") == 3.0
+        assert evaluate_expression("2.5") == 2.5
+
+    def test_pi(self):
+        assert evaluate_expression("pi/2") == pytest.approx(math.pi / 2)
+
+    def test_arithmetic(self):
+        assert evaluate_expression("1 + 2 * 3") == 7.0
+        assert evaluate_expression("(1 + 2) * 3") == 9.0
+        assert evaluate_expression("-pi/4") == pytest.approx(-math.pi / 4)
+        assert evaluate_expression("2^3") == 8.0
+
+    def test_environment_names(self):
+        assert evaluate_expression("theta/2", {"theta": 1.0}) == 0.5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(QasmParseError):
+            evaluate_expression("theta")
+
+
+class TestProgramStructure:
+    def test_registers(self):
+        program = parse_qasm(HEADER + "qreg q[5];\ncreg c[5];\n")
+        assert program.num_qubits() == 5
+        assert len(program.registers) == 2
+        assert program.registers[0].is_quantum
+
+    def test_version(self):
+        program = parse_qasm(HEADER)
+        assert program.version == "2.0"
+
+    def test_gate_calls(self):
+        program = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        assert len(program.statements) == 2
+        call = program.statements[1]
+        assert isinstance(call, GateCall)
+        assert call.name == "cx"
+        assert [ref.index for ref in call.qubits] == [0, 1]
+
+    def test_parameterised_gate_call(self):
+        program = parse_qasm(HEADER + "qreg q[1];\nrz(pi/2) q[0];\n")
+        call = program.statements[0]
+        assert call.params[0] == pytest.approx(math.pi / 2)
+
+    def test_barrier(self):
+        program = parse_qasm(HEADER + "qreg q[2];\nbarrier q[0],q[1];\n")
+        assert isinstance(program.statements[0], BarrierStmt)
+
+    def test_measure(self):
+        program = parse_qasm(HEADER + "qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[0];\n")
+        statement = program.statements[0]
+        assert isinstance(statement, MeasureStmt)
+        assert statement.qubit.register == "q"
+
+    def test_whole_register_reference(self):
+        program = parse_qasm(HEADER + "qreg q[3];\nh q;\n")
+        call = program.statements[0]
+        assert call.qubits[0].index is None
+
+    def test_opaque_is_skipped(self):
+        program = parse_qasm(HEADER + "qreg q[1];\nopaque magic a;\nh q[0];\n")
+        assert len(program.statements) == 1
+
+    def test_classical_condition_keeps_quantum_part(self):
+        program = parse_qasm(
+            HEADER + "qreg q[1];\ncreg c[1];\nif (c == 1) x q[0];\n"
+        )
+        assert program.statements[0].name == "x"
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(QasmParseError):
+            parse_qasm(HEADER + "qreg q[2]\nh q[0];")
+
+
+class TestGateDeclarations:
+    def test_declaration_is_recorded(self):
+        source = HEADER + "gate mygate a, b { cx a, b; h a; }\nqreg q[2];\nmygate q[0], q[1];\n"
+        program = parse_qasm(source)
+        assert "mygate" in program.gate_decls
+        decl = program.gate_decls["mygate"]
+        assert decl.qubit_args == ("a", "b")
+        assert [c.name for c in decl.body] == ["cx", "h"]
+
+    def test_parameterised_declaration(self):
+        source = HEADER + "gate rot(theta) a { rz(theta/2) a; }\nqreg q[1];\nrot(pi) q[0];\n"
+        program = parse_qasm(source)
+        decl = program.gate_decls["rot"]
+        assert decl.param_names == ("theta",)
+        assert decl.body[0].param_exprs == ("theta / 2",)
+
+    def test_barrier_inside_gate_body_is_ignored(self):
+        source = HEADER + "gate g a, b { cx a, b; barrier a, b; cx b, a; }\nqreg q[2];\n"
+        program = parse_qasm(source)
+        assert len(program.gate_decls["g"].body) == 2

@@ -1,0 +1,66 @@
+"""Tests for the QASM writer and round-tripping."""
+
+from repro.benchgen.qasmbench import ghz_circuit, qft_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.qasm.loader import circuit_from_qasm
+from repro.qasm.writer import circuit_to_qasm, write_qasm_file
+
+
+class TestWriter:
+    def test_header_and_register(self):
+        text = circuit_to_qasm(QuantumCircuit(3))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+
+    def test_gate_rendering(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(0.5, 1)
+        text = circuit_to_qasm(circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(0.5) q[1];" in text
+
+    def test_barrier_and_measure(self):
+        circuit = QuantumCircuit(2)
+        circuit.barrier()
+        circuit.measure(1)
+        text = circuit_to_qasm(circuit)
+        assert "barrier q[0],q[1];" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_write_file(self, tmp_path):
+        path = write_qasm_file(ghz_circuit(4), tmp_path / "ghz.qasm")
+        assert path.exists()
+        assert "cx" in path.read_text()
+
+
+class TestRoundTrip:
+    def _roundtrip(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        return circuit_from_qasm(circuit_to_qasm(circuit))
+
+    def test_ghz_roundtrip(self):
+        original = ghz_circuit(6)
+        recovered = self._roundtrip(original)
+        assert [(g.name, g.qubits) for g in recovered] == [
+            (g.name, g.qubits) for g in original
+        ]
+
+    def test_qft_roundtrip_preserves_parameters(self):
+        original = qft_circuit(5)
+        recovered = self._roundtrip(original)
+        assert len(recovered) == len(original)
+        for a, b in zip(original, recovered):
+            assert a.name == b.name and a.qubits == b.qubits
+            assert all(abs(x - y) < 1e-12 for x, y in zip(a.params, b.params))
+
+    def test_swap_gates_roundtrip(self):
+        circuit = QuantumCircuit(3)
+        circuit.swap(0, 2)
+        recovered = self._roundtrip(circuit)
+        assert recovered.gates[0].is_swap
+
+    def test_depth_preserved(self):
+        original = qft_circuit(6)
+        assert self._roundtrip(original).depth() == original.depth()

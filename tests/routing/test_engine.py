@@ -1,0 +1,107 @@
+"""Tests for the shared routing engine."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyDistanceRouter
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.validation import verify_routing
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.topologies import line_topology
+from repro.routing.engine import RouterError, RoutingEngine
+from repro.routing.layout import Layout
+
+
+class TestEngineBasics:
+    def test_disconnected_device_rejected(self):
+        disconnected = CouplingGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            GreedyDistanceRouter(disconnected)
+
+    def test_circuit_larger_than_device_rejected(self, line5):
+        router = GreedyDistanceRouter(line5)
+        with pytest.raises(ValueError):
+            router.run(QuantumCircuit(6))
+
+    def test_abstract_select_swap(self, line5):
+        engine = RoutingEngine(line5)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        with pytest.raises(NotImplementedError):
+            engine.run(circuit)
+
+    def test_already_routable_circuit_needs_no_swaps(self, line5):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        result = GreedyDistanceRouter(line5).run(circuit)
+        assert result.swaps_added == 0
+        assert result.routed_depth == circuit.depth()
+
+    def test_single_far_gate_uses_minimum_swaps(self, line5):
+        circuit = QuantumCircuit(5)
+        circuit.cx(0, 4)
+        result = GreedyDistanceRouter(line5).run(circuit)
+        assert result.swaps_added == 3  # distance 4 -> 3 swaps to become adjacent
+        verify_routing(circuit, result.routed_circuit, line5.edges(), result.initial_layout)
+
+    def test_initial_layout_is_respected(self, line5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        layout = Layout(2, 5, {0: 0, 1: 4})
+        result = GreedyDistanceRouter(line5).run(circuit, layout)
+        assert result.initial_layout == {0: 0, 1: 4}
+        assert result.swaps_added == 3
+        verify_routing(circuit, result.routed_circuit, line5.edges(), result.initial_layout)
+
+    def test_initial_layout_dict_accepted(self, line5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = GreedyDistanceRouter(line5).run(circuit, {0: 2, 1: 3})
+        assert result.swaps_added == 0
+
+    def test_single_qubit_gates_follow_layout(self, line5):
+        circuit = QuantumCircuit(2)
+        circuit.h(1)
+        result = GreedyDistanceRouter(line5).run(circuit, {0: 0, 1: 3})
+        assert result.routed_circuit.gates[0].qubits == (3,)
+
+    def test_final_layout_reflects_swaps(self, line5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        result = GreedyDistanceRouter(line5).run(circuit, {0: 0, 1: 2})
+        assert result.swaps_added >= 1
+        assert result.final_layout != result.initial_layout
+
+
+class TestStateQueries:
+    def test_result_metadata(self, line5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        result = GreedyDistanceRouter(line5).run(circuit)
+        assert result.mapper_name == "greedy-distance"
+        assert result.runtime_seconds >= 0
+        assert result.cost_evaluations > 0
+        assert result.original_depth == 1
+
+    def test_result_summary_keys(self, line5):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        summary = GreedyDistanceRouter(line5).run(circuit).summary()
+        assert {"mapper", "swaps", "depth", "runtime_seconds"} <= set(summary)
+
+    def test_depth_factor_uses_reference(self, line5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        result = GreedyDistanceRouter(line5).run(circuit)
+        assert result.depth_factor(reference_depth=1) == result.routed_depth
+        with pytest.raises(ValueError):
+            result.depth_factor(reference_depth=0)
+
+    def test_barriers_pass_through(self, line5):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)
+        circuit.barrier()
+        circuit.cx(1, 2)
+        result = GreedyDistanceRouter(line5).run(circuit)
+        assert result.swaps_added == 0

@@ -1,0 +1,59 @@
+"""Tests for RoutingResult bookkeeping."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.routing.result import RoutingResult
+
+
+def make_result(swaps: int = 2, depth_gates: int = 3) -> RoutingResult:
+    routed = QuantumCircuit(4)
+    for _ in range(swaps):
+        routed.swap(0, 1)
+    for _ in range(depth_gates):
+        routed.cx(1, 2)
+    return RoutingResult(
+        routed_circuit=routed,
+        initial_layout={0: 0, 1: 1, 2: 2, 3: 3},
+        final_layout={0: 1, 1: 0, 2: 2, 3: 3},
+        original_depth=depth_gates,
+        mapper_name="test-mapper",
+        runtime_seconds=0.25,
+        cost_evaluations=10,
+    )
+
+
+class TestRoutingResult:
+    def test_swap_count(self):
+        assert make_result(swaps=3).swaps_added == 3
+
+    def test_routed_depth(self):
+        result = make_result(swaps=2, depth_gates=3)
+        assert result.routed_depth == 5
+
+    def test_depth_overhead(self):
+        assert make_result(swaps=2, depth_gates=3).depth_overhead == 2
+
+    def test_depth_factor_against_reference(self):
+        result = make_result(swaps=2, depth_gates=3)
+        assert result.depth_factor() == pytest.approx(5 / 3)
+        assert result.depth_factor(reference_depth=5) == pytest.approx(1.0)
+
+    def test_depth_factor_rejects_nonpositive_reference(self):
+        with pytest.raises(ValueError):
+            make_result().depth_factor(reference_depth=0)
+
+    def test_summary_contents(self):
+        summary = make_result().summary()
+        assert summary["mapper"] == "test-mapper"
+        assert summary["swaps"] == 2
+        assert summary["cost_evaluations"] == 10
+        assert summary["runtime_seconds"] == pytest.approx(0.25)
+
+    def test_metadata_dict_is_mutable(self):
+        result = make_result()
+        result.metadata["note"] = "hello"
+        assert result.metadata["note"] == "hello"
+
+    def test_repr_mentions_mapper(self):
+        assert "test-mapper" in repr(make_result())

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map", "--generate", "ghz:8"])
+        assert args.backend == "sherbrooke"
+        assert args.mapper == "qlosure"
+
+
+class TestCommands:
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "sherbrooke" in output and "ankaa3" in output
+
+    def test_info_on_generated_circuit(self, capsys):
+        assert main(["info", "--generate", "qft:8"]) == 0
+        output = capsys.readouterr().out
+        assert "qubits     : 8" in output
+        assert "macro-gates" in output
+
+    def test_map_generated_circuit(self, capsys):
+        assert main(["map", "--generate", "ghz:10", "--backend", "ankaa3", "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "swaps added" in output
+
+    def test_map_with_baseline(self, capsys):
+        assert main(["map", "--generate", "ghz:8", "--backend", "ankaa3", "--mapper", "lightsabre"]) == 0
+        assert "lightsabre" in capsys.readouterr().out
+
+    def test_map_qasm_file_and_output(self, tmp_path, capsys):
+        source = tmp_path / "bell.qasm"
+        source.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n'
+        )
+        routed = tmp_path / "routed.qasm"
+        code = main(
+            ["map", "--qasm", str(source), "--backend", "ankaa3", "--output", str(routed)]
+        )
+        assert code == 0
+        assert routed.exists()
+        assert "cx" in routed.read_text()
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--generate", "ghz:6", "--backend", "ankaa3"]) == 0
+        output = capsys.readouterr().out
+        assert "qlosure" in output and "lightsabre" in output
+
+    def test_info_with_drawing(self, capsys):
+        assert main(["info", "--generate", "ghz:4", "--draw"]) == 0
+        output = capsys.readouterr().out
+        assert "q0" in output and "X" in output
+
+    def test_missing_circuit_source_errors(self):
+        with pytest.raises(SystemExit):
+            main(["info"])
