@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench
+
+## Tier-1 verification: the full suite including the paper benchmarks.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Unit tests only (skips the slow paper-table benchmarks).
+test-fast:
+	$(PYTHON) -m pytest tests -x -q
+
+## Routing perf smoke: routes a pinned QUEKO workload with every router and
+## writes BENCH_routing.json, the machine-readable perf trajectory.
+bench:
+	$(PYTHON) benchmarks/perf_smoke.py

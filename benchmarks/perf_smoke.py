@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Routing perf smoke: route a fixed QUEKO workload with every router.
+
+Writes ``BENCH_routing.json`` (mean swaps / depth / seconds / cost
+evaluations per router) so every commit leaves a machine-readable perf
+trajectory behind.  Quality metrics must stay constant across perf-only
+changes; ``mean_seconds`` is the number that should go down.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--output PATH] [--rounds N]
+
+or equivalently ``make bench`` / ``repro-map bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.perf_trajectory import render_trajectory, write_perf_smoke
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_routing.json",
+        help="where to write the JSON trajectory record",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=1, help="repetitions of the fixed workload"
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    record = write_perf_smoke(args.output, rounds=args.rounds)
+    print(render_trajectory(record))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Machine-readable routing performance trajectory.
+
+Routes a fixed QUEKO workload with every evaluation router and writes the
+per-router mean SWAP count, routed depth, mapping time and cost-evaluation
+count to ``BENCH_routing.json``.  The fixture (generation device, depth
+ladder, seeds) is pinned, so successive commits produce directly comparable
+numbers: quality metrics (swaps/depth) must stay constant for a
+performance-only change, and ``mean_seconds`` is the mapping-time trajectory
+the Table 4 benchmark summarises.  Run it via ``make bench``,
+``repro-map bench`` or ``python benchmarks/perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.baselines.cirq_like import CirqLikeRouter
+from repro.baselines.greedy import GreedyDistanceRouter
+from repro.baselines.qmap_like import QmapLikeRouter
+from repro.baselines.sabre import LightSabreRouter, SabreRouter
+from repro.baselines.tket_like import TketLikeRouter
+from repro.benchgen.queko import generate_queko_circuit
+from repro.core.router import QlosureRouter
+from repro.hardware.backends import sherbrooke
+from repro.hardware.topologies import grid_topology
+
+#: Pinned fixture: depths and per-depth seeds of the QUEKO smoke workload.
+FIXTURE_DEPTHS = (5, 10, 15)
+FIXTURE_SEEDS_PER_DEPTH = 2
+
+
+def smoke_fixture():
+    """The fixed QUEKO instances every perf-smoke run routes."""
+    generation = grid_topology(6, 9, name="sycamore-54-grid")
+    instances = []
+    for depth in FIXTURE_DEPTHS:
+        for index in range(FIXTURE_SEEDS_PER_DEPTH):
+            instances.append(
+                generate_queko_circuit(
+                    generation,
+                    depth,
+                    seed=depth * 37 + index,
+                    name=f"perf-smoke-d{depth}-{index}",
+                )
+            )
+    return instances
+
+
+def smoke_routers(backend):
+    """The routers tracked by the trajectory (paper baselines + Qlosure)."""
+    return {
+        "sabre": SabreRouter(backend),
+        "lightsabre": LightSabreRouter(backend),
+        "cirq": CirqLikeRouter(backend),
+        "tket": TketLikeRouter(backend),
+        "qmap": QmapLikeRouter(backend),
+        "greedy": GreedyDistanceRouter(backend),
+        "qlosure": QlosureRouter(backend),
+    }
+
+
+def run_perf_smoke(rounds: int = 1) -> dict:
+    """Route the pinned fixture with every router; return the trajectory record."""
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    backend = sherbrooke()
+    backend.distance_table()  # build once outside the timed regions
+    instances = smoke_fixture()
+    routers = smoke_routers(backend)
+    record: dict = {
+        "benchmark": "routing-perf-smoke",
+        "backend": backend.name,
+        "fixture": {
+            "generator": "queko",
+            "generation_device": "sycamore-54-grid",
+            "depths": list(FIXTURE_DEPTHS),
+            "seeds_per_depth": FIXTURE_SEEDS_PER_DEPTH,
+            "rounds": rounds,
+        },
+        "python": platform.python_version(),
+        "routers": {},
+    }
+    for name, router in routers.items():
+        swaps: list[int] = []
+        depths: list[int] = []
+        seconds: list[float] = []
+        evaluations: list[int] = []
+        for _ in range(rounds):
+            for instance in instances:
+                start = time.perf_counter()
+                result = router.run(instance.circuit)
+                seconds.append(time.perf_counter() - start)
+                swaps.append(result.swaps_added)
+                depths.append(result.routed_depth)
+                evaluations.append(result.cost_evaluations)
+        record["routers"][name] = {
+            "mean_swaps": round(statistics.mean(swaps), 2),
+            "mean_depth": round(statistics.mean(depths), 2),
+            "mean_seconds": round(statistics.mean(seconds), 4),
+            "total_seconds": round(sum(seconds), 4),
+            "mean_cost_evaluations": round(statistics.mean(evaluations), 1),
+            "runs": len(seconds),
+        }
+    return record
+
+
+def write_perf_smoke(output: Path | str = "BENCH_routing.json", rounds: int = 1) -> dict:
+    """Run the smoke workload and write the JSON trajectory record."""
+    record = run_perf_smoke(rounds=rounds)
+    path = Path(output)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def render_trajectory(record: dict) -> str:
+    """A compact human-readable view of one trajectory record."""
+    lines = [f"{'router':12s} {'swaps':>8s} {'depth':>8s} {'seconds':>9s} {'evals':>10s}"]
+    for name, stats in sorted(record["routers"].items()):
+        lines.append(
+            f"{name:12s} {stats['mean_swaps']:8.2f} {stats['mean_depth']:8.2f} "
+            f"{stats['mean_seconds']:9.4f} {stats['mean_cost_evaluations']:10.1f}"
+        )
+    return "\n".join(lines)

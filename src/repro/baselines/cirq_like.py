@@ -10,9 +10,13 @@ considered with reduced weight.
 
 from __future__ import annotations
 
-from repro.core.cost import tentative_physical
 from repro.hardware.coupling import CouplingGraph
-from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+from repro.routing.engine import (
+    RouterError,
+    RoutingEngine,
+    RoutingState,
+    swapped_distance_sum,
+)
 
 
 class CirqLikeRouter(RoutingEngine):
@@ -41,11 +45,14 @@ class CirqLikeRouter(RoutingEngine):
     def _next_slice(self, state: RoutingState) -> list[int]:
         """Two-qubit gates that become ready right after the current front layer."""
         upcoming: list[int] = []
+        is_2q = state.is_2q
+        successors_of = state.dag.successors
+        executed = state.executed
         for index in sorted(state.front):
-            for successor in state.dag.successors(index):
-                if successor in state.executed:
+            for successor in successors_of(index):
+                if successor in executed:
                     continue
-                if state.gate(successor).is_two_qubit and successor not in upcoming:
+                if is_2q[successor] and successor not in upcoming:
                     upcoming.append(successor)
                     if len(upcoming) >= self.next_slice_size:
                         return upcoming
@@ -57,26 +64,42 @@ class CirqLikeRouter(RoutingEngine):
             raise RouterError("no candidate SWAPs available")
         front = state.unresolved_front()
         upcoming = self._next_slice(state)
+
+        distance = state.distance_rows()
+        phys_of = state.layout.phys_of
+        op_pairs = state.op_pairs
+        front_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in front)
+        ]
+        upcoming_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in upcoming)
+        ]
+        weight = self.next_slice_weight
+        last_swap = self._last_swap
+
         best_cost = float("inf")
         best: list[tuple[int, int]] = []
         for candidate in candidates:
-            cost = 0.0
-            for index in front:
-                gate = state.gate(index)
-                p1 = tentative_physical(state, gate.qubits[0], candidate)
-                p2 = tentative_physical(state, gate.qubits[1], candidate)
-                cost += state.distance[p1][p2]
-            for index in upcoming:
-                gate = state.gate(index)
-                p1 = tentative_physical(state, gate.qubits[0], candidate)
-                p2 = tentative_physical(state, gate.qubits[1], candidate)
-                cost += self.next_slice_weight * state.distance[p1][p2]
-            if candidate == self._last_swap:
+            a, b = candidate
+            cost = float(swapped_distance_sum(front_pairs, a, b, distance))
+            # Per-term weighted accumulation (not sum-then-scale) preserves
+            # the float addition order of the cost definition.
+            for p1, p2 in upcoming_pairs:
+                if p1 == a:
+                    p1 = b
+                elif p1 == b:
+                    p1 = a
+                if p2 == a:
+                    p2 = b
+                elif p2 == b:
+                    p2 = a
+                cost += weight * distance[p1][p2]
+            if candidate == last_swap:
                 cost += 0.5
-            state.cost_evaluations += 1
             if cost < best_cost - 1e-12:
                 best_cost = cost
                 best = [candidate]
             elif abs(cost - best_cost) <= 1e-12:
                 best.append(candidate)
+        state.cost_evaluations += len(candidates)
         return best[0] if len(best) == 1 else self._rng.choice(best)

@@ -9,9 +9,13 @@ ablation study.
 
 from __future__ import annotations
 
-from repro.core.cost import tentative_physical
 from repro.hardware.coupling import CouplingGraph
-from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+from repro.routing.engine import (
+    RouterError,
+    RoutingEngine,
+    RoutingState,
+    swapped_distance_sum,
+)
 
 
 class GreedyDistanceRouter(RoutingEngine):
@@ -37,22 +41,27 @@ class GreedyDistanceRouter(RoutingEngine):
         if not candidates:
             raise RouterError("no candidate SWAPs available")
         front = state.unresolved_front()
+
+        distance = state.distance_rows()
+        phys_of = state.layout.phys_of
+        op_pairs = state.op_pairs
+        front_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in front)
+        ]
+        last_swap = self._last_swap
+
         best_cost = float("inf")
         best: list[tuple[int, int]] = []
         for candidate in candidates:
-            cost = 0.0
-            for index in front:
-                gate = state.gate(index)
-                p1 = tentative_physical(state, gate.qubits[0], candidate)
-                p2 = tentative_physical(state, gate.qubits[1], candidate)
-                cost += state.distance[p1][p2]
-            if candidate == self._last_swap:
+            a, b = candidate
+            cost = float(swapped_distance_sum(front_pairs, a, b, distance))
+            if candidate == last_swap:
                 # Undoing the previous SWAP never makes progress; discourage it.
                 cost += 0.5
-            state.cost_evaluations += 1
             if cost < best_cost - 1e-12:
                 best_cost = cost
                 best = [candidate]
             elif abs(cost - best_cost) <= 1e-12:
                 best.append(candidate)
+        state.cost_evaluations += len(candidates)
         return best[0] if len(best) == 1 else self._rng.choice(best)

@@ -10,6 +10,11 @@ SWAP of that sequence is committed.  The search heuristic is the summed
 remaining distance of the front-layer gates (admissible up to a constant
 factor), and the node budget keeps worst-case runtime bounded with a greedy
 fallback.
+
+Search nodes carry flat placement lists (logical index -> physical qubit)
+instead of dictionaries: copying a node is one list copy, the visited key is
+the tuple of the list, and the heuristic reads the flat distance table rows
+directly.
 """
 
 from __future__ import annotations
@@ -17,9 +22,13 @@ from __future__ import annotations
 import heapq
 import itertools
 
-from repro.core.cost import tentative_physical
 from repro.hardware.coupling import CouplingGraph
-from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+from repro.routing.engine import (
+    RouterError,
+    RoutingEngine,
+    RoutingState,
+    swapped_distance_sum,
+)
 
 
 class QmapLikeRouter(RoutingEngine):
@@ -39,83 +48,88 @@ class QmapLikeRouter(RoutingEngine):
 
     def _front_pairs(self, state: RoutingState) -> list[tuple[int, int]]:
         """Logical qubit pairs of the unresolved front-layer gates."""
-        pairs = []
-        for index in state.unresolved_front():
-            gate = state.gate(index)
-            pairs.append((gate.qubits[0], gate.qubits[1]))
-        return pairs
+        op_pairs = state.op_pairs
+        return [op_pairs[index] for index in state.unresolved_front()]
 
+    @staticmethod
     def _heuristic(
-        self, state: RoutingState, placement: dict[int, int], pairs: list[tuple[int, int]]
+        distance, placement: list[int], pairs: list[tuple[int, int]]
     ) -> float:
         total = 0
         for q1, q2 in pairs:
-            total += state.distance[placement[q1]][placement[q2]]
+            total += distance[placement[q1]][placement[q2]]
         return float(total - len(pairs))  # distance 1 per pair is the goal
 
+    @staticmethod
     def _goal_reached(
-        self, state: RoutingState, placement: dict[int, int], pairs: list[tuple[int, int]]
+        distance, placement: list[int], pairs: list[tuple[int, int]]
     ) -> bool:
         return any(
-            state.distance[placement[q1]][placement[q2]] == 1 for q1, q2 in pairs
+            distance[placement[q1]][placement[q2]] == 1 for q1, q2 in pairs
         )
 
     def select_swap(self, state: RoutingState) -> tuple[int, int]:
         pairs = self._front_pairs(state)
         if not pairs:
             raise RouterError("qmap-like router stalled with no unresolved front gates")
-        start = {q: state.layout.physical(q) for q in range(state.circuit.num_qubits)}
+        distance = state.distance_rows()
+        start = list(state.layout.phys_of)
         counter = itertools.count()
-        frontier: list[tuple[float, int, int, dict[int, int], list[tuple[int, int]]]] = []
+        frontier: list[tuple[float, int, int, list[int], list[tuple[int, int]]]] = []
         heapq.heappush(
-            frontier, (self._heuristic(state, start, pairs), next(counter), 0, start, [])
+            frontier, (self._heuristic(distance, start, pairs), next(counter), 0, start, [])
         )
-        visited: set[tuple[tuple[int, int], ...]] = set()
+        visited: set[tuple[int, ...]] = set()
         expanded = 0
+        evaluations = 0
         while frontier and expanded < self.node_budget:
             _, _, cost, placement, sequence = heapq.heappop(frontier)
-            key = tuple(sorted(placement.items()))
+            key = tuple(placement)
             if key in visited:
                 continue
             visited.add(key)
             expanded += 1
-            if sequence and self._goal_reached(state, placement, pairs):
+            if sequence and self._goal_reached(distance, placement, pairs):
+                state.cost_evaluations += evaluations
                 return sequence[0]
             if len(sequence) >= self.max_sequence_length:
                 continue
-            for candidate in self._candidate_swaps_for(state, placement, pairs):
-                new_placement = dict(placement)
+            for candidate in self._candidate_swaps_for(placement, pairs):
+                new_placement = list(placement)
                 self._apply_to_placement(new_placement, candidate)
-                state.cost_evaluations += 1
-                estimate = cost + 1 + self._heuristic(state, new_placement, pairs)
+                evaluations += 1
+                estimate = cost + 1 + self._heuristic(distance, new_placement, pairs)
                 heapq.heappush(
                     frontier,
                     (estimate, next(counter), cost + 1, new_placement, sequence + [candidate]),
                 )
+        state.cost_evaluations += evaluations
         return self._greedy_fallback(state, pairs)
 
     def _candidate_swaps_for(
         self,
-        state: RoutingState,
-        placement: dict[int, int],
+        placement: list[int],
         pairs: list[tuple[int, int]],
     ) -> list[tuple[int, int]]:
+        neighbor_table = self.coupling.neighbor_table
         physical_front: set[int] = set()
         for q1, q2 in pairs:
             physical_front.add(placement[q1])
             physical_front.add(placement[q2])
         candidates: set[tuple[int, int]] = set()
         for p1 in physical_front:
-            for p2 in self.coupling.neighbors(p1):
-                candidates.add((min(p1, p2), max(p1, p2)))
+            for p2 in neighbor_table[p1]:
+                candidates.add((p1, p2) if p1 < p2 else (p2, p1))
         return sorted(candidates)
 
     @staticmethod
-    def _apply_to_placement(placement: dict[int, int], swap: tuple[int, int]) -> None:
+    def _apply_to_placement(placement: list[int], swap: tuple[int, int]) -> None:
         p1, p2 = swap
-        moved = {q: p for q, p in placement.items() if p in (p1, p2)}
-        for logical, physical in moved.items():
-            placement[logical] = p2 if physical == p1 else p1
+        for logical, physical in enumerate(placement):
+            if physical == p1:
+                placement[logical] = p2
+            elif physical == p2:
+                placement[logical] = p1
 
     def _greedy_fallback(
         self, state: RoutingState, pairs: list[tuple[int, int]]
@@ -124,16 +138,16 @@ class QmapLikeRouter(RoutingEngine):
         candidates = state.candidate_swaps()
         if not candidates:
             raise RouterError("no candidate SWAPs available")
+        distance = state.distance_rows()
+        phys_of = state.layout.phys_of
+        front_pairs = [(phys_of[q1], phys_of[q2]) for q1, q2 in pairs]
         best_cost = float("inf")
         best = candidates[0]
         for candidate in candidates:
-            cost = 0.0
-            for q1, q2 in pairs:
-                p1 = tentative_physical(state, q1, candidate)
-                p2 = tentative_physical(state, q2, candidate)
-                cost += state.distance[p1][p2]
-            state.cost_evaluations += 1
+            a, b = candidate
+            cost = float(swapped_distance_sum(front_pairs, a, b, distance))
             if cost < best_cost:
                 best_cost = cost
                 best = candidate
+        state.cost_evaluations += len(candidates)
         return best

@@ -12,13 +12,23 @@ discourages thrashing the same qubit.  ``LightSabreRouter`` uses the same
 cost with the release-valve behaviour of the Qiskit implementation (when the
 same front gate stays blocked for too long, SWAPs are forced along its
 shortest path) which keeps runtimes low on adversarial instances.
+
+The cost loop works on per-stall precomputed physical operand pairs and the
+flat distance table's row views; no tentative layout is materialised per
+candidate, and decay resets are O(1) via the generation counter of
+:class:`~repro.routing.decay.DecayTable`.
 """
 
 from __future__ import annotations
 
-from repro.core.cost import tentative_physical
 from repro.hardware.coupling import CouplingGraph
-from repro.routing.engine import RouterError, RoutingEngine, RoutingState
+from repro.routing.decay import DecayTable
+from repro.routing.engine import (
+    RouterError,
+    RoutingEngine,
+    RoutingState,
+    swapped_distance_sum,
+)
 
 
 class SabreRouter(RoutingEngine):
@@ -37,25 +47,25 @@ class SabreRouter(RoutingEngine):
 
     def __init__(self, coupling: CouplingGraph, seed: int = 0):
         super().__init__(coupling, seed)
-        self._decay: dict[int, float] = {}
+        self._decay = DecayTable(0, self.decay_increment)
         self._stall_counter = 0
 
     # -- hooks -------------------------------------------------------------
 
     def on_circuit_start(self, state: RoutingState) -> None:
-        self._decay = {q: 1.0 for q in range(state.circuit.num_qubits)}
+        self._decay = DecayTable(state.circuit.num_qubits, self.decay_increment)
         self._stall_counter = 0
 
     def on_gate_executed(self, state: RoutingState, index: int) -> None:
-        for qubit in self._decay:
-            self._decay[qubit] = 1.0
+        self._decay.reset_all()
         self._stall_counter = 0
 
     def on_swap_applied(self, state: RoutingState, swap: tuple[int, int]) -> None:
+        logical_at = state.layout.logical_at
         for physical in swap:
-            logical = state.layout.logical(physical)
+            logical = logical_at[physical]
             if logical is not None:
-                self._decay[logical] = self._decay.get(logical, 1.0) + self.decay_increment
+                self._decay.bump(logical)
         self._stall_counter += 1
 
     # -- cost --------------------------------------------------------------
@@ -64,16 +74,19 @@ class SabreRouter(RoutingEngine):
         """The next ``extended_set_size`` two-qubit gates after the front layer."""
         extended: list[int] = []
         visited: set[int] = set()
+        is_2q = state.is_2q
+        successors_of = state.dag.successors
+        executed = state.executed
         frontier = sorted(state.front)
         while frontier and len(extended) < self.extended_set_size:
             next_frontier: list[int] = []
             for index in frontier:
-                for successor in state.dag.successors(index):
-                    if successor in visited or successor in state.executed:
+                for successor in successors_of(index):
+                    if successor in visited or successor in executed:
                         continue
                     visited.add(successor)
                     next_frontier.append(successor)
-                    if state.gate(successor).is_two_qubit:
+                    if is_2q[successor]:
                         extended.append(successor)
                         if len(extended) >= self.extended_set_size:
                             break
@@ -97,37 +110,44 @@ class SabreRouter(RoutingEngine):
         if not candidates:
             raise RouterError("no candidate SWAPs available")
         extended = self._extended_set(state)
+
+        distance = state.distance_rows()
+        phys_of = state.layout.phys_of
+        logical_at = state.layout.logical_at
+        op_pairs = state.op_pairs
+        front_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in front)
+        ]
+        extended_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in extended)
+        ]
+        front_size = len(front)
+        extended_size = len(extended)
+        weight = self.extended_set_weight
+        decay_get = self._decay.get
+
         best_cost = float("inf")
         best: list[tuple[int, int]] = []
         for candidate in candidates:
-            front_cost = 0.0
-            for index in front:
-                gate = state.gate(index)
-                p1 = tentative_physical(state, gate.qubits[0], candidate)
-                p2 = tentative_physical(state, gate.qubits[1], candidate)
-                front_cost += state.distance[p1][p2]
-            front_cost /= len(front)
+            a, b = candidate
+            front_cost = swapped_distance_sum(front_pairs, a, b, distance) / front_size
             extended_cost = 0.0
-            if extended:
-                for index in extended:
-                    gate = state.gate(index)
-                    p1 = tentative_physical(state, gate.qubits[0], candidate)
-                    p2 = tentative_physical(state, gate.qubits[1], candidate)
-                    extended_cost += state.distance[p1][p2]
-                extended_cost = self.extended_set_weight * extended_cost / len(extended)
-            decay_values = []
-            for physical in candidate:
-                logical = state.layout.logical(physical)
-                decay_values.append(
-                    self._decay.get(logical, 1.0) if logical is not None else 1.0
+            if extended_size:
+                extended_cost = (
+                    weight
+                    * swapped_distance_sum(extended_pairs, a, b, distance)
+                    / extended_size
                 )
-            cost = max(decay_values) * (front_cost + extended_cost)
-            state.cost_evaluations += 1
+            decay_a = decay_get(logical_at[a], 1.0)
+            decay_b = decay_get(logical_at[b], 1.0)
+            max_decay = decay_a if decay_a >= decay_b else decay_b
+            cost = max_decay * (front_cost + extended_cost)
             if cost < best_cost - 1e-12:
                 best_cost = cost
                 best = [candidate]
             elif abs(cost - best_cost) <= 1e-12:
                 best.append(candidate)
+        state.cost_evaluations += len(candidates)
         return best[0] if len(best) == 1 else self._rng.choice(best)
 
     def _release_valve_swap(
@@ -135,9 +155,9 @@ class SabreRouter(RoutingEngine):
     ) -> tuple[int, int]:
         """Force a SWAP along the shortest path of the most blocked front gate."""
         target = min(front, key=lambda index: state.gate_distance(index))
-        gate = state.gate(target)
-        p1 = state.layout.physical(gate.qubits[0])
-        p2 = state.layout.physical(gate.qubits[1])
+        q1, q2 = state.op_pairs[target]
+        p1 = state.layout.phys_of[q1]
+        p2 = state.layout.phys_of[q2]
         path = self.coupling.shortest_path(p1, p2)
         return (min(path[0], path[1]), max(path[0], path[1]))
 

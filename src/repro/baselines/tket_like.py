@@ -8,7 +8,6 @@ reimplements that minimax cost family on the shared routing engine.
 
 from __future__ import annotations
 
-from repro.core.cost import tentative_physical
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.engine import RouterError, RoutingEngine, RoutingState
 
@@ -38,11 +37,14 @@ class TketLikeRouter(RoutingEngine):
 
     def _upcoming(self, state: RoutingState) -> list[int]:
         upcoming: list[int] = []
+        is_2q = state.is_2q
+        successors_of = state.dag.successors
+        executed = state.executed
         for index in sorted(state.front):
-            for successor in state.dag.successors(index):
-                if successor in state.executed:
+            for successor in successors_of(index):
+                if successor in executed:
                     continue
-                if state.gate(successor).is_two_qubit and successor not in upcoming:
+                if is_2q[successor] and successor not in upcoming:
                     upcoming.append(successor)
                     if len(upcoming) >= self.lookahead_size:
                         return upcoming
@@ -54,30 +56,57 @@ class TketLikeRouter(RoutingEngine):
             raise RouterError("no candidate SWAPs available")
         front = state.unresolved_front()
         upcoming = self._upcoming(state)
+
+        # The minimax cost compares individual terms, so the transposition
+        # stays inline here rather than using swapped_distance_sum.
+        distance = state.distance_rows()
+        phys_of = state.layout.phys_of
+        op_pairs = state.op_pairs
+        front_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in front)
+        ]
+        upcoming_pairs = [
+            (phys_of[q1], phys_of[q2]) for q1, q2 in (op_pairs[i] for i in upcoming)
+        ]
+        weight = self.lookahead_weight
+        last_swap = self._last_swap
+
         best_key: tuple[float, float] | None = None
         best: list[tuple[int, int]] = []
         for candidate in candidates:
+            a, b = candidate
             longest = 0
             total = 0.0
-            for index in front:
-                gate = state.gate(index)
-                p1 = tentative_physical(state, gate.qubits[0], candidate)
-                p2 = tentative_physical(state, gate.qubits[1], candidate)
-                d = state.distance[p1][p2]
-                longest = max(longest, d)
+            for p1, p2 in front_pairs:
+                if p1 == a:
+                    p1 = b
+                elif p1 == b:
+                    p1 = a
+                if p2 == a:
+                    p2 = b
+                elif p2 == b:
+                    p2 = a
+                d = distance[p1][p2]
+                if d > longest:
+                    longest = d
                 total += d
-            for index in upcoming:
-                gate = state.gate(index)
-                p1 = tentative_physical(state, gate.qubits[0], candidate)
-                p2 = tentative_physical(state, gate.qubits[1], candidate)
-                total += self.lookahead_weight * state.distance[p1][p2]
-            if candidate == self._last_swap:
+            for p1, p2 in upcoming_pairs:
+                if p1 == a:
+                    p1 = b
+                elif p1 == b:
+                    p1 = a
+                if p2 == a:
+                    p2 = b
+                elif p2 == b:
+                    p2 = a
+                total += weight * distance[p1][p2]
+            if candidate == last_swap:
                 total += 0.5
             key = (float(longest), total)
-            state.cost_evaluations += 1
             if best_key is None or key < best_key:
                 best_key = key
                 best = [candidate]
             elif key == best_key:
                 best.append(candidate)
+        state.cost_evaluations += len(candidates)
         return best[0] if len(best) == 1 else self._rng.choice(best)

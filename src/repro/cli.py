@@ -8,7 +8,9 @@ Sub-commands:
   comparison table,
 * ``backends``  list the built-in hardware back-ends,
 * ``info``      print circuit statistics (qubits, gates, depth, lifted
-  macro-gates) without routing.
+  macro-gates) without routing,
+* ``bench``     run the routing perf smoke and write ``BENCH_routing.json``
+  (the machine-readable perf trajectory; also ``make bench``).
 """
 
 from __future__ import annotations
@@ -114,6 +116,17 @@ def _command_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.perf_trajectory import render_trajectory, write_perf_smoke
+
+    if args.rounds < 1:
+        raise SystemExit("repro-map bench: --rounds must be at least 1")
+    record = write_perf_smoke(args.output, rounds=args.rounds)
+    print(render_trajectory(record))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -148,6 +161,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_circuit_arguments(info_parser)
     info_parser.add_argument("--draw", action="store_true", help="print an ASCII drawing")
     info_parser.set_defaults(func=_command_info)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the routing perf smoke and write BENCH_routing.json"
+    )
+    bench_parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_routing.json"),
+        help="where to write the JSON trajectory record",
+    )
+    bench_parser.add_argument(
+        "--rounds", type=int, default=1, help="repetitions of the fixed workload"
+    )
+    bench_parser.set_defaults(func=_command_bench)
     return parser
 
 

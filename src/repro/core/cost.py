@@ -15,7 +15,9 @@ Scoring many candidate SWAPs against the same window repeats most of the
 work, so :class:`WindowScorer` pre-computes per-layer base sums once per
 stall and evaluates each candidate by adjusting only the gates whose physical
 operands are touched by that SWAP -- the asymptotic cost per candidate drops
-from O(window) to O(gates on the two swapped qubits).
+from O(window) to O(gates on the two swapped qubits).  All lookups go through
+the precomputed per-gate operand arrays of the routing state and the flat
+distance table's row views; no tentative layout is ever materialised.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ def tentative_physical(
     state: RoutingState, logical: int, swap: tuple[int, int]
 ) -> int:
     """Physical location of ``logical`` under the tentative mapping ``phi o s``."""
-    current = state.layout.physical(logical)
+    current = state.layout.phys_of[logical]
     p1, p2 = swap
     if current == p1:
         return p2
@@ -49,19 +51,26 @@ class WindowScorer:
         state: RoutingState,
         window: LookaheadWindow,
         weights: Mapping[int, int],
-        decay: Mapping[int, float],
+        decay,
         config: QlosureConfig,
     ):
         self._state = state
         self._config = config
         self._decay = decay
-        self._distance = state.distance
+        self._distance = state.distance_rows()
         # Per-window-gate records: (layer position, weight factor, phys1, phys2).
         self._entries: list[tuple[int, float, int, int]] = []
         self._layer_sizes: list[int] = []
         self._base_gammas: list[float] = []
         self._touching: dict[int, list[int]] = defaultdict(list)
 
+        phys_of = state.layout.phys_of
+        op_pairs = state.op_pairs
+        use_weights = config.use_dependence_weights
+        use_discount = config.use_layer_discount
+        entries = self._entries
+        touching = self._touching
+        weights_get = weights.get
         for layer_index, layer in enumerate(window.layers, start=1):
             if not layer:
                 continue
@@ -69,19 +78,18 @@ class WindowScorer:
             layer_position = len(self._layer_sizes)
             self._layer_sizes.append(len(layer))
             for gate_index in layer:
-                gate = state.gate(gate_index)
-                q1, q2 = gate.qubits[0], gate.qubits[1]
-                p1 = state.layout.physical(q1)
-                p2 = state.layout.physical(q2)
-                omega = weights.get(gate_index, 0) if config.use_dependence_weights else 1
+                q1, q2 = op_pairs[gate_index]
+                p1 = phys_of[q1]
+                p2 = phys_of[q2]
+                omega = weights_get(gate_index, 0) if use_weights else 1
                 factor = float(max(omega, 1))
-                if config.use_layer_discount:
+                if use_discount:
                     factor /= layer_index
-                entry_index = len(self._entries)
-                self._entries.append((layer_position, factor, p1, p2))
-                self._touching[p1].append(entry_index)
+                entry_index = len(entries)
+                entries.append((layer_position, factor, p1, p2))
+                touching[p1].append(entry_index)
                 if p2 != p1:
-                    self._touching[p2].append(entry_index)
+                    touching[p2].append(entry_index)
                 gamma += factor * self._distance[p1][p2]
             self._base_gammas.append(gamma)
 
@@ -99,25 +107,26 @@ class WindowScorer:
         """Evaluate ``M(swap)`` against the window."""
         p1, p2 = swap
         gammas = list(self._base_gammas)
-        affected = set(self._touching.get(p1, ())) | set(self._touching.get(p2, ()))
+        touching = self._touching
+        affected = set(touching.get(p1, ())) | set(touching.get(p2, ()))
+        entries = self._entries
+        distance = self._distance
         for entry_index in affected:
-            layer_position, factor, g1, g2 = self._entries[entry_index]
-            old = self._distance[g1][g2]
+            layer_position, factor, g1, g2 = entries[entry_index]
+            old = distance[g1][g2]
             n1 = p2 if g1 == p1 else p1 if g1 == p2 else g1
             n2 = p2 if g2 == p1 else p1 if g2 == p2 else g2
-            new = self._distance[n1][n2]
+            new = distance[n1][n2]
             if new != old:
                 gammas[layer_position] += factor * (new - old)
         layer_sum = self._normalized(gammas)
         if not self._config.use_decay:
             return layer_sum
-        decay_values = []
-        for physical in (p1, p2):
-            logical = self._state.layout.logical(physical)
-            decay_values.append(
-                self._decay.get(logical, 1.0) if logical is not None else 1.0
-            )
-        return max(decay_values) * layer_sum
+        logical_at = self._state.layout.logical_at
+        decay_get = self._decay.get
+        d1 = decay_get(logical_at[p1], 1.0)
+        d2 = decay_get(logical_at[p2], 1.0)
+        return (d1 if d1 >= d2 else d2) * layer_sum
 
 
 def swap_cost(
@@ -125,7 +134,7 @@ def swap_cost(
     swap: tuple[int, int],
     window: LookaheadWindow,
     weights: Mapping[int, int],
-    decay: Mapping[int, float],
+    decay,
     config: QlosureConfig,
 ) -> float:
     """Evaluate the composite cost ``M(s)`` of a single candidate SWAP.

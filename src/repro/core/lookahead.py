@@ -66,9 +66,8 @@ def build_lookahead(
     order until ``k`` two-qubit gates have been collected.  Each gate's layer
     is one plus the maximum layer of its in-window predecessors.
     """
-    front_two_qubit = [
-        index for index in sorted(state.front) if state.gate(index).is_two_qubit
-    ]
+    is_2q = state.is_2q
+    front_two_qubit = [index for index in sorted(state.front) if is_2q[index]]
     if front_only or not front_two_qubit:
         return LookaheadWindow([front_two_qubit] if front_two_qubit else [])
 
@@ -83,45 +82,48 @@ def build_lookahead(
         level[index] = 1
         in_window.add(index)
         queue.append(index)
-        if state.gate(index).is_two_qubit:
+        if is_2q[index]:
             collected_two_qubit += 1
 
     # Expand in topological order while the two-qubit budget lasts.
+    executed = state.executed
+    successors_of = state.dag.successors
+    predecessors_of = state.dag.predecessors
     remaining_preds: dict[int, int] = {}
     while queue and collected_two_qubit < target:
         current = queue.popleft()
-        for successor in state.dag.successors(current):
-            if successor in in_window or successor in state.executed:
+        for successor in successors_of(current):
+            if successor in in_window or successor in executed:
                 continue
             if successor not in remaining_preds:
                 remaining_preds[successor] = sum(
                     1
-                    for predecessor in state.dag.predecessors(successor)
-                    if predecessor not in state.executed
+                    for predecessor in predecessors_of(successor)
+                    if predecessor not in executed
                 )
             remaining_preds[successor] -= 1
             if remaining_preds[successor] > 0:
                 continue
             predecessor_levels = [
                 level[p]
-                for p in state.dag.predecessors(successor)
+                for p in predecessors_of(successor)
                 if p in level
             ]
             level[successor] = 1 + max(predecessor_levels, default=0)
             in_window.add(successor)
             queue.append(successor)
-            if state.gate(successor).is_two_qubit:
+            if is_2q[successor]:
                 collected_two_qubit += 1
                 if collected_two_qubit >= target:
                     break
 
     max_level = max(
-        (lvl for index, lvl in level.items() if state.gate(index).is_two_qubit),
+        (lvl for index, lvl in level.items() if is_2q[index]),
         default=0,
     )
     layers: list[list[int]] = [[] for _ in range(max_level)]
     for index, lvl in level.items():
-        if state.gate(index).is_two_qubit:
+        if is_2q[index]:
             layers[lvl - 1].append(index)
     layers = [sorted(layer) for layer in layers if layer]
     return LookaheadWindow(layers)

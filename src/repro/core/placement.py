@@ -62,6 +62,7 @@ def greedy_placement(circuit: QuantumCircuit, coupling: CouplingGraph) -> Layout
     matrix = coupling.distance_matrix()
     free = set(range(coupling.num_qubits))
     placement: dict[int, int] = {}
+    center = _device_center(coupling)
 
     for logical in order:
         placed_partners = [
@@ -71,7 +72,6 @@ def greedy_placement(circuit: QuantumCircuit, coupling: CouplingGraph) -> Layout
         ]
         if not placed_partners:
             # Seed: the densest free location (closest to the device center).
-            center = _device_center(coupling)
             target = min(free, key=lambda p: matrix[center][p])
         else:
             target = min(

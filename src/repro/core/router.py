@@ -14,6 +14,7 @@ from repro.core.config import QlosureConfig
 from repro.core.cost import WindowScorer
 from repro.core.lookahead import build_lookahead
 from repro.hardware.coupling import CouplingGraph
+from repro.routing.decay import DecayTable
 from repro.routing.engine import RouterError, RoutingEngine, RoutingState
 
 
@@ -33,7 +34,7 @@ class QlosureRouter(RoutingEngine):
             coupling.max_degree()
         )
         self._weights: dict[int, int] = {}
-        self._decay: dict[int, float] = {}
+        self._decay = DecayTable(0, self.config.decay_increment)
 
     # -- engine hooks -----------------------------------------------------------
 
@@ -41,20 +42,20 @@ class QlosureRouter(RoutingEngine):
         """Precompute the transitive dependence weights ``omega`` once per circuit."""
         analysis = DependenceAnalysis(state.circuit)
         self._weights = analysis.weights()
-        self._decay = {q: 1.0 for q in range(state.circuit.num_qubits)}
+        self._decay = DecayTable(state.circuit.num_qubits, self.config.decay_increment)
 
     def on_gate_executed(self, state: RoutingState, index: int) -> None:
         """Reset decay values after a successful two-qubit gate execution."""
         if self.config.decay_reset_on_execute:
-            for qubit in self._decay:
-                self._decay[qubit] = 1.0
+            self._decay.reset_all()
 
     def on_swap_applied(self, state: RoutingState, swap: tuple[int, int]) -> None:
         """Penalise the logical qubits that were just moved."""
+        logical_at = state.layout.logical_at
         for physical in swap:
-            logical = state.layout.logical(physical)
+            logical = logical_at[physical]
             if logical is not None:
-                self._decay[logical] = self._decay.get(logical, 1.0) + self.config.decay_increment
+                self._decay.bump(logical)
 
     # -- SWAP selection ------------------------------------------------------------
 
@@ -70,16 +71,17 @@ class QlosureRouter(RoutingEngine):
             front_only=self.config.lookahead_only_front,
         )
         scorer = WindowScorer(state, window, self._weights, self._decay, self.config)
+        score = scorer.score
         best_cost = float("inf")
         best: list[tuple[int, int]] = []
         for candidate in candidates:
-            cost = scorer.score(candidate)
-            state.cost_evaluations += 1
+            cost = score(candidate)
             if cost < best_cost - 1e-12:
                 best_cost = cost
                 best = [candidate]
             elif abs(cost - best_cost) <= 1e-12:
                 best.append(candidate)
+        state.cost_evaluations += len(candidates)
         return best[0] if len(best) == 1 else self._rng.choice(best)
 
     # -- convenience ------------------------------------------------------------------

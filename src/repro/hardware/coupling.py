@@ -13,6 +13,12 @@ class CouplingGraph:
     The graph is the hardware abstraction the mapper consumes (the paper's
     set ``Rhw``).  Edges are undirected: if ``(p1, p2)`` is present, a
     two-qubit gate (and a SWAP) may be applied between ``p1`` and ``p2``.
+
+    Adjacency tests and neighbour lists sit on the routing hot path, so they
+    are answered from precomputed structures (a flat row-major adjacency
+    bytearray and per-qubit sorted neighbour tuples) rather than networkx
+    queries; the networkx graph remains the source of truth for everything
+    cold (connectivity checks, path reconstruction, subgraphs).
     """
 
     def __init__(
@@ -36,7 +42,20 @@ class CouplingGraph:
                     f"edge ({a}, {b}) references a qubit outside [0, {self._num_qubits})"
                 )
             self._graph.add_edge(a, b)
-        self._distance: list[list[int]] | None = None
+        # Flat row-major adjacency table: adjacency[a * n + b] is 1 iff coupled.
+        n = self._num_qubits
+        adjacency = bytearray(n * n)
+        neighbors: list[tuple[int, ...]] = []
+        for qubit in range(n):
+            around = tuple(sorted(self._graph.neighbors(qubit)))
+            neighbors.append(around)
+            base = qubit * n
+            for other in around:
+                adjacency[base + other] = 1
+        self._adjacency = bytes(adjacency)
+        self._neighbors = tuple(neighbors)
+        self._distance = None  # FlatDistanceTable, built lazily once
+        self._distance_rows: dict[int, list[int]] = {}
 
     # -- basic accessors -----------------------------------------------------
 
@@ -50,6 +69,16 @@ class CouplingGraph:
         """The underlying networkx graph (do not mutate)."""
         return self._graph
 
+    @property
+    def adjacency(self) -> bytes:
+        """Flat row-major adjacency table: ``adjacency[a * num_qubits + b]``."""
+        return self._adjacency
+
+    @property
+    def neighbor_table(self) -> tuple[tuple[int, ...], ...]:
+        """Per-qubit sorted neighbour tuples (hot-path view of the edges)."""
+        return self._neighbors
+
     def edges(self) -> list[tuple[int, int]]:
         """The coupling edges as (min, max) ordered pairs."""
         return [tuple(sorted(edge)) for edge in self._graph.edges()]
@@ -59,20 +88,20 @@ class CouplingGraph:
         return self._graph.number_of_edges()
 
     def neighbors(self, qubit: int) -> list[int]:
-        """Physical qubits directly coupled to ``qubit``."""
-        return sorted(self._graph.neighbors(qubit))
+        """Physical qubits directly coupled to ``qubit`` (sorted)."""
+        return list(self._neighbors[qubit])
 
     def degree(self, qubit: int) -> int:
         """Number of neighbours of ``qubit``."""
-        return self._graph.degree(qubit)
+        return len(self._neighbors[qubit])
 
     def max_degree(self) -> int:
         """Maximum degree over all qubits (used to size the look-ahead window)."""
-        return max((d for _, d in self._graph.degree()), default=0)
+        return max((len(around) for around in self._neighbors), default=0)
 
     def are_adjacent(self, a: int, b: int) -> bool:
         """True when qubits ``a`` and ``b`` are directly coupled."""
-        return self._graph.has_edge(a, b)
+        return self._adjacency[a * self._num_qubits + b] == 1
 
     def is_connected(self) -> bool:
         """True when the coupling graph is connected."""
@@ -80,17 +109,47 @@ class CouplingGraph:
 
     # -- distances -------------------------------------------------------------
 
-    def distance_matrix(self) -> list[list[int]]:
-        """All-pairs shortest-path distances (cached); -1 for unreachable pairs."""
+    def distance_table(self):
+        """The shared flat all-pairs distance table (built once, then cached)."""
         if self._distance is None:
-            from repro.hardware.distance import distance_matrix
+            from repro.hardware.distance import FlatDistanceTable, bfs_distances
 
-            self._distance = distance_matrix(self)
+            rows = [
+                self._distance_rows.get(source) or bfs_distances(self, source)
+                for source in range(self._num_qubits)
+            ]
+            self._distance = FlatDistanceTable(self, rows)
+            self._distance_rows.clear()
         return self._distance
+
+    def distance_matrix(self) -> list[list[int]]:
+        """All-pairs shortest-path distances (cached); -1 for unreachable pairs.
+
+        Returns the row views of :meth:`distance_table`; treat them as
+        read-only.
+        """
+        return self.distance_table().rows
+
+    def distance_row(self, source: int) -> list[int]:
+        """BFS distances from one qubit, cached per source.
+
+        Single-source queries do not trigger the all-pairs computation, so
+        utilities that probe a handful of pairs (placement seeding, tests)
+        stay cheap on large devices.
+        """
+        if self._distance is not None:
+            return self._distance.rows[source]
+        row = self._distance_rows.get(source)
+        if row is None:
+            from repro.hardware.distance import bfs_distances
+
+            row = bfs_distances(self, source)
+            self._distance_rows[source] = row
+        return row
 
     def distance(self, a: int, b: int) -> int:
         """Shortest-path distance (in edges) between two physical qubits."""
-        return self.distance_matrix()[a][b]
+        return self.distance_row(a)[b]
 
     def shortest_path(self, a: int, b: int) -> list[int]:
         """One shortest path between two physical qubits (inclusive endpoints)."""

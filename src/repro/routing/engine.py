@@ -11,6 +11,37 @@ outer loop, which matches Algorithm 1 of the paper:
 
 Concrete routers override :meth:`RoutingEngine.select_swap` (and optionally
 the execution hooks) to implement their SWAP-selection policy.
+
+Incremental-state contract
+--------------------------
+
+:class:`RoutingState` is an *incremental* kernel: the unresolved front layer,
+its physical-qubit footprint and the candidate-SWAP set are cached and kept
+in sync with gate retirement and SWAP application instead of being recomputed
+on every query.  Heuristics plugged into the engine must respect three rules:
+
+* **Read-only views.**  :meth:`RoutingState.unresolved_front`,
+  :meth:`RoutingState.front_physical_qubits` and
+  :meth:`RoutingState.candidate_swaps` return internal caches; treat them as
+  immutable snapshots valid until the next mutation and never modify them in
+  place.
+* **Mutate through the engine.**  The layout and the front set must only be
+  changed through the engine loop (gate retirement, committed SWAPs), which
+  routes every mutation through :meth:`RoutingState.note_gate_retired` /
+  :meth:`RoutingState.note_swap_applied`.  A heuristic that speculatively
+  mutates ``state.layout`` must call :meth:`RoutingState.mark_front_dirty`
+  afterwards -- better, it should score tentative placements arithmetically
+  (see :func:`repro.core.cost.tentative_physical`) and never touch the
+  shared layout at all.
+* **Precomputed operand arrays.**  ``state.op_pairs[i]`` holds the two
+  qubit operands of gate ``i`` (``None`` for single-qubit gates and
+  barriers) and ``state.is_2q[i]`` flags exactly-two-qubit gates; cost loops
+  should consume these instead of re-reading ``Gate`` objects.
+
+Replaying the same seed against the same circuit and device reproduces the
+emitted gate sequence bit for bit: caches only memoise what the non-cached
+code would have computed at the same point, and tie-breaking still consumes
+the engine RNG in the same order.
 """
 
 from __future__ import annotations
@@ -18,7 +49,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import CircuitDAG
@@ -32,6 +63,31 @@ class RouterError(RuntimeError):
     """Raised when a router cannot make progress (should never happen on connected devices)."""
 
 
+def swapped_distance_sum(
+    pairs: list[tuple[int, int]], a: int, b: int, distance
+) -> int:
+    """Summed pair distances under the layout with physical qubits a/b exchanged.
+
+    ``pairs`` holds *current* physical operand pairs; the transposition
+    ``(a b)`` is applied arithmetically per operand, so no tentative layout
+    is materialised.  Only usable when the caller consumes the plain sum --
+    costs that weight or compare individual terms must keep their own
+    accumulation to preserve float ordering.
+    """
+    total = 0
+    for p1, p2 in pairs:
+        if p1 == a:
+            p1 = b
+        elif p1 == b:
+            p1 = a
+        if p2 == a:
+            p2 = b
+        elif p2 == b:
+            p2 = a
+        total += distance[p1][p2]
+    return total
+
+
 @dataclass
 class RoutingState:
     """Mutable traversal state shared between the engine and the heuristics."""
@@ -40,7 +96,7 @@ class RoutingState:
     coupling: CouplingGraph
     dag: CircuitDAG
     layout: Layout
-    distance: list[list[int]]
+    distance: Sequence[Sequence[float]]
     pending_predecessors: dict[int, int]
     front: set[int] = field(default_factory=set)
     executed: set[int] = field(default_factory=set)
@@ -48,50 +104,144 @@ class RoutingState:
     swaps_since_progress: int = 0
     cost_evaluations: int = 0
 
+    def __post_init__(self):
+        gates = self.circuit.gates
+        #: Per-gate operand pair (first two qubits) or None for <2-qubit gates.
+        self.op_pairs: list[tuple[int, int] | None] = [
+            (gate.qubits[0], gate.qubits[1])
+            if gate.num_qubits >= 2 and not gate.is_barrier
+            else None
+            for gate in gates
+        ]
+        #: Per-gate flag: acts on exactly two qubits (the routing-relevant set).
+        self.is_2q: list[bool] = [gate.is_two_qubit for gate in gates]
+        self._num_physical = self.coupling.num_qubits
+        self._adjacency = self.coupling.adjacency
+        self._neighbor_table = self.coupling.neighbor_table
+        self._front_dirty = True
+        self._unresolved: list[int] = []
+        self._front_physical: set[int] = set()
+        self._candidates: list[tuple[int, int]] = []
+
     def gate(self, index: int) -> Gate:
         """The gate at circuit index ``index``."""
         return self.circuit.gates[index]
 
     def is_executable(self, index: int) -> bool:
         """True when the gate's operands are adjacent under the current layout."""
-        gate = self.gate(index)
-        if gate.num_qubits < 2 or gate.is_barrier:
+        pair = self.op_pairs[index]
+        if pair is None:
             return True
-        p1 = self.layout.physical(gate.qubits[0])
-        p2 = self.layout.physical(gate.qubits[1])
-        return self.coupling.are_adjacent(p1, p2)
+        phys_of = self.layout.phys_of
+        return (
+            self._adjacency[phys_of[pair[0]] * self._num_physical + phys_of[pair[1]]]
+            == 1
+        )
+
+    # -- cached front-layer views -------------------------------------------
+
+    def mark_front_dirty(self) -> None:
+        """Invalidate the cached front-layer views (rebuilt lazily on next read)."""
+        self._front_dirty = True
+
+    def note_gate_retired(self, index: int) -> None:
+        """Record a front-set change: the cached views must be rebuilt."""
+        self._front_dirty = True
+
+    def note_swap_applied(self, p1: int, p2: int) -> None:
+        """Fold a committed SWAP into the cached views.
+
+        Front membership is untouched by a SWAP, so while no unresolved gate
+        became executable the cached unresolved list stays valid verbatim and
+        only the physical footprint (and with it the candidate set) needs
+        refreshing.  As soon as a gate turns executable the engine is about to
+        retire it, so the caches are simply invalidated.
+        """
+        if self._front_dirty:
+            return
+        phys_of = self.layout.phys_of
+        adjacency = self._adjacency
+        n = self._num_physical
+        op_pairs = self.op_pairs
+        for index in self._unresolved:
+            q1, q2 = op_pairs[index]
+            if adjacency[phys_of[q1] * n + phys_of[q2]]:
+                self._front_dirty = True
+                return
+        front_physical: set[int] = set()
+        for index in self._unresolved:
+            q1, q2 = op_pairs[index]
+            front_physical.add(phys_of[q1])
+            front_physical.add(phys_of[q2])
+        self._front_physical = front_physical
+        self._candidates = self._build_candidates(front_physical)
+
+    def _refresh_front(self) -> None:
+        phys_of = self.layout.phys_of
+        adjacency = self._adjacency
+        n = self._num_physical
+        op_pairs = self.op_pairs
+        is_2q = self.is_2q
+        unresolved: list[int] = []
+        front_physical: set[int] = set()
+        for index in self.front:
+            if not is_2q[index]:
+                continue
+            q1, q2 = op_pairs[index]
+            p1 = phys_of[q1]
+            p2 = phys_of[q2]
+            if adjacency[p1 * n + p2]:
+                continue
+            unresolved.append(index)
+            front_physical.add(p1)
+            front_physical.add(p2)
+        self._unresolved = unresolved
+        self._front_physical = front_physical
+        self._candidates = self._build_candidates(front_physical)
+        self._front_dirty = False
+
+    def _build_candidates(self, front_physical: set[int]) -> list[tuple[int, int]]:
+        neighbor_table = self._neighbor_table
+        candidates: set[tuple[int, int]] = set()
+        for p1 in front_physical:
+            for p2 in neighbor_table[p1]:
+                candidates.add((p1, p2) if p1 < p2 else (p2, p1))
+        return sorted(candidates)
 
     def unresolved_front(self) -> list[int]:
-        """Front-layer two-qubit gates that are not executable yet."""
-        return [
-            index
-            for index in self.front
-            if self.gate(index).is_two_qubit and not self.is_executable(index)
-        ]
+        """Front-layer two-qubit gates that are not executable yet (cached view)."""
+        if self._front_dirty:
+            self._refresh_front()
+        return self._unresolved
 
     def front_physical_qubits(self) -> set[int]:
         """Physical qubits hosting operands of unresolved front-layer gates (``Pfront``)."""
-        physical: set[int] = set()
-        for index in self.unresolved_front():
-            for logical in self.gate(index).qubits:
-                physical.add(self.layout.physical(logical))
-        return physical
+        if self._front_dirty:
+            self._refresh_front()
+        return self._front_physical
 
     def candidate_swaps(self) -> list[tuple[int, int]]:
         """Candidate SWAPs: edges touching at least one front-layer physical qubit."""
-        candidates: set[tuple[int, int]] = set()
-        for p1 in self.front_physical_qubits():
-            for p2 in self.coupling.neighbors(p1):
-                candidates.add((min(p1, p2), max(p1, p2)))
-        return sorted(candidates)
+        if self._front_dirty:
+            self._refresh_front()
+        return self._candidates
+
+    def distance_rows(self):
+        """Row-view binding of the *current* distance table.
+
+        Unwraps a :class:`~repro.hardware.distance.FlatDistanceTable` to its
+        row lists and passes any other row-indexable matrix (e.g. the
+        error-weighted float matrix) through unchanged.  Re-bind after
+        replacing ``state.distance``.
+        """
+        distance = self.distance
+        return getattr(distance, "rows", distance)
 
     def gate_distance(self, index: int, layout: Layout | None = None) -> int:
         """Distance between the physical operands of a two-qubit gate."""
         layout = layout or self.layout
-        gate = self.gate(index)
-        p1 = layout.physical(gate.qubits[0])
-        p2 = layout.physical(gate.qubits[1])
-        return self.distance[p1][p2]
+        q1, q2 = self.op_pairs[index]
+        return self.distance[layout.phys_of[q1]][layout.phys_of[q2]]
 
 
 class RoutingEngine:
@@ -144,7 +294,7 @@ class RoutingEngine:
             coupling=self.coupling,
             dag=dag,
             layout=layout,
-            distance=self.coupling.distance_matrix(),
+            distance=self.coupling.distance_table(),
             pending_predecessors=pending,
             front={index for index, count in pending.items() if count == 0},
         )
@@ -205,14 +355,21 @@ class RoutingEngine:
         """Execute every ready gate whose operands are adjacent; return True if any ran."""
         progressed = False
         ready = True
+        op_pairs = state.op_pairs
+        adjacency = state._adjacency
+        n = state._num_physical
         while ready:
             ready = False
+            phys_of = state.layout.phys_of
             for index in sorted(state.front):
-                if not state.is_executable(index):
+                pair = op_pairs[index]
+                if pair is not None and not adjacency[
+                    phys_of[pair[0]] * n + phys_of[pair[1]]
+                ]:
                     continue
                 self._emit_gate(state, index)
                 self._retire(state, index)
-                if state.gate(index).is_two_qubit:
+                if state.is_2q[index]:
                     self.on_gate_executed(state, index)
                 ready = True
                 progressed = True
@@ -220,21 +377,26 @@ class RoutingEngine:
 
     def _emit_gate(self, state: RoutingState, index: int) -> None:
         gate = state.gate(index)
-        physical = tuple(state.layout.physical(q) for q in gate.qubits)
+        phys_of = state.layout.phys_of
+        physical = tuple(phys_of[q] for q in gate.qubits)
         state.emitted.append(Gate(gate.name, physical, gate.params, gate.label))
 
     def _retire(self, state: RoutingState, index: int) -> None:
         state.front.discard(index)
         state.executed.add(index)
+        pending = state.pending_predecessors
+        front = state.front
         for successor in state.dag.successors(index):
-            state.pending_predecessors[successor] -= 1
-            if state.pending_predecessors[successor] == 0:
-                state.front.add(successor)
+            pending[successor] -= 1
+            if pending[successor] == 0:
+                front.add(successor)
+        state.note_gate_retired(index)
 
     def _apply_swap(self, state: RoutingState, swap: tuple[int, int]) -> None:
         p1, p2 = swap
-        if not self.coupling.are_adjacent(p1, p2):
+        if not state._adjacency[p1 * state._num_physical + p2]:
             raise RouterError(f"{self.name} proposed a SWAP on non-adjacent qubits {swap}")
         state.layout.swap_physical(p1, p2)
         state.emitted.append(Gate("swap", (p1, p2)))
+        state.note_swap_applied(p1, p2)
         self.on_swap_applied(state, swap)

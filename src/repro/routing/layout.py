@@ -6,11 +6,18 @@ on exactly one physical qubit, while physical qubits may be unoccupied when
 the device has more qubits than the circuit uses.  SWAPs are applied to
 *physical* qubit pairs and exchange whatever logical states the two locations
 hold (including the case where one side is empty).
+
+Both directions of the bijection are stored as flat lists indexed by qubit
+number (``phys_of[logical]`` and ``logical_at[physical]``, the latter holding
+``None`` for empty locations), so lookups are O(1) list indexing and a SWAP
+is four in-place element writes.  Hot loops may bind the lists directly via
+:attr:`Layout.phys_of` / :attr:`Layout.logical_at` but must never resize
+them.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 
 class Layout:
@@ -34,19 +41,19 @@ class Layout:
             placement = {q: q for q in range(num_logical)}
         elif not isinstance(placement, Mapping):
             placement = {logical: physical for logical, physical in enumerate(placement)}
-        self._phys_of: dict[int, int] = {}
-        self._logical_at: dict[int, int] = {}
+        self._phys_of: list[int] = [-1] * num_logical
+        self._logical_at: list[int | None] = [None] * num_physical
         for logical, physical in placement.items():
             logical, physical = int(logical), int(physical)
             if not 0 <= logical < num_logical:
                 raise ValueError(f"logical qubit {logical} out of range")
             if not 0 <= physical < num_physical:
                 raise ValueError(f"physical qubit {physical} out of range")
-            if physical in self._logical_at:
+            if self._logical_at[physical] is not None:
                 raise ValueError(f"physical qubit {physical} assigned twice")
             self._phys_of[logical] = physical
             self._logical_at[physical] = logical
-        missing = [q for q in range(num_logical) if q not in self._phys_of]
+        missing = [q for q in range(num_logical) if self._phys_of[q] < 0]
         if missing:
             raise ValueError(f"layout does not place logical qubits {missing}")
 
@@ -66,7 +73,12 @@ class Layout:
 
     def copy(self) -> "Layout":
         """An independent copy of the layout."""
-        return Layout(self._num_logical, self._num_physical, dict(self._phys_of))
+        clone = Layout.__new__(Layout)
+        clone._num_logical = self._num_logical
+        clone._num_physical = self._num_physical
+        clone._phys_of = list(self._phys_of)
+        clone._logical_at = list(self._logical_at)
+        return clone
 
     # -- accessors -------------------------------------------------------------
 
@@ -80,50 +92,62 @@ class Layout:
         """Number of physical qubits on the device."""
         return self._num_physical
 
+    @property
+    def phys_of(self) -> list[int]:
+        """The logical -> physical list (hot-path view; do not resize)."""
+        return self._phys_of
+
+    @property
+    def logical_at(self) -> list[int | None]:
+        """The physical -> logical list, ``None`` when empty (hot-path view)."""
+        return self._logical_at
+
     def physical(self, logical: int) -> int:
         """Physical qubit currently hosting ``logical``."""
         return self._phys_of[logical]
 
     def logical(self, physical: int) -> int | None:
         """Logical qubit hosted at ``physical``, or None when unoccupied."""
-        return self._logical_at.get(physical)
+        return self._logical_at[physical]
 
     def is_occupied(self, physical: int) -> bool:
         """True when a logical qubit currently sits on ``physical``."""
-        return physical in self._logical_at
+        return self._logical_at[physical] is not None
 
     def as_dict(self) -> dict[int, int]:
         """The placement as a logical -> physical dictionary."""
-        return dict(self._phys_of)
+        return {q: self._phys_of[q] for q in range(self._num_logical)}
 
     def as_list(self) -> list[int]:
         """The placement as a list indexed by logical qubit."""
-        return [self._phys_of[q] for q in range(self._num_logical)]
+        return list(self._phys_of)
 
     def occupied_physical(self) -> set[int]:
         """The set of physical qubits currently hosting logical state."""
-        return set(self._logical_at)
+        return {p for p, logical in enumerate(self._logical_at) if logical is not None}
 
     # -- mutation ----------------------------------------------------------------
 
     def swap_physical(self, p1: int, p2: int) -> None:
         """Apply a SWAP between two physical qubits, exchanging their contents."""
-        l1 = self._logical_at.pop(p1, None)
-        l2 = self._logical_at.pop(p2, None)
+        logical_at = self._logical_at
+        l1 = logical_at[p1]
+        l2 = logical_at[p2]
+        logical_at[p1] = l2
+        logical_at[p2] = l1
+        phys_of = self._phys_of
         if l1 is not None:
-            self._logical_at[p2] = l1
-            self._phys_of[l1] = p2
+            phys_of[l1] = p2
         if l2 is not None:
-            self._logical_at[p1] = l2
-            self._phys_of[l2] = p1
+            phys_of[l2] = p1
 
     def assign(self, logical: int, physical: int) -> None:
         """Move ``logical`` onto ``physical`` (which must be unoccupied)."""
-        if physical in self._logical_at:
+        if self._logical_at[physical] is not None:
             raise ValueError(f"physical qubit {physical} already occupied")
-        old = self._phys_of.get(logical)
-        if old is not None:
-            self._logical_at.pop(old, None)
+        old = self._phys_of[logical]
+        if old >= 0:
+            self._logical_at[old] = None
         self._phys_of[logical] = physical
         self._logical_at[physical] = logical
 
@@ -139,6 +163,7 @@ class Layout:
         )
 
     def __repr__(self) -> str:
-        sample = {q: self._phys_of[q] for q in list(self._phys_of)[:6]}
+        shown = min(self._num_logical, 6)
+        sample = {q: self._phys_of[q] for q in range(shown)}
         suffix = ", ..." if self._num_logical > 6 else ""
         return f"Layout({sample}{suffix})"

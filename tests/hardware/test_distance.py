@@ -3,7 +3,13 @@
 import pytest
 
 from repro.hardware.coupling import CouplingGraph
-from repro.hardware.distance import bfs_distances, distance_matrix, shortest_path
+from repro.hardware.distance import (
+    FlatDistanceTable,
+    bfs_distances,
+    distance_matrix,
+    flat_distance_table,
+    shortest_path,
+)
 from repro.hardware.topologies import grid_topology, line_topology
 
 
@@ -39,6 +45,45 @@ class TestBfsDistances:
             for b in range(n):
                 for c in range(0, n, 3):
                     assert matrix[a][b] <= matrix[a][c] + matrix[c][b]
+
+
+class TestFlatDistanceTable:
+    def test_matches_nested_matrix(self):
+        grid = grid_topology(3, 4)
+        table = flat_distance_table(grid)
+        nested = distance_matrix(grid)
+        n = grid.num_qubits
+        for a in range(n):
+            assert table[a] == nested[a]
+            for b in range(n):
+                assert table.pair(a, b) == nested[a][b]
+
+    def test_flat_buffer_is_row_major(self):
+        line = line_topology(4)
+        table = FlatDistanceTable(line)
+        assert list(table.buffer) == [d for row in distance_matrix(line) for d in row]
+        assert len(table.tobytes()) == table.buffer.itemsize * 16
+
+    def test_iteration_and_len(self):
+        line = line_topology(3)
+        table = flat_distance_table(line)
+        assert len(table) == 3
+        assert [row[0] for row in table] == [0, 1, 2]
+
+    def test_shared_per_coupling_graph(self):
+        grid = grid_topology(3, 3)
+        assert grid.distance_table() is grid.distance_table()
+        assert grid.distance_matrix() is grid.distance_table().rows
+
+    def test_scalar_query_uses_row_cache_not_all_pairs(self):
+        grid = grid_topology(5, 5)
+        assert grid.distance(0, 24) == 8
+        # A single-pair query must not have materialised the full table.
+        assert grid._distance is None
+        assert set(grid._distance_rows) == {0}
+        # The all-pairs table reuses already-computed rows afterwards.
+        table = grid.distance_table()
+        assert table[0][24] == 8
 
 
 class TestShortestPath:

@@ -1,0 +1,55 @@
+"""Tests for the generation-counter decay table."""
+
+from repro.routing.decay import DecayTable
+
+
+class TestDecayTable:
+    def test_starts_neutral(self):
+        decay = DecayTable(4)
+        assert all(decay.get(q) == 1.0 for q in range(4))
+
+    def test_bump_accumulates(self):
+        decay = DecayTable(3, increment=0.5)
+        decay.bump(1)
+        decay.bump(1)
+        assert decay.get(1) == 2.0
+        assert decay.get(0) == 1.0
+
+    def test_reset_is_lazy_but_complete(self):
+        decay = DecayTable(3, increment=0.25)
+        decay.bump(0)
+        decay.bump(2)
+        decay.reset_all()
+        assert decay.get(0) == 1.0
+        assert decay.get(2) == 1.0
+
+    def test_bump_after_reset_starts_fresh(self):
+        decay = DecayTable(2, increment=0.1)
+        decay.bump(0)
+        decay.bump(0)
+        decay.reset_all()
+        decay.bump(0)
+        assert abs(decay.get(0) - 1.1) < 1e-12
+
+    def test_none_reads_default(self):
+        decay = DecayTable(2)
+        assert decay.get(None) == 1.0
+        assert decay.get(None, 7.0) == 7.0
+
+    def test_matches_eager_dict_semantics(self):
+        """The lazy table replays the eager reset-every-gate dict exactly."""
+        import random
+
+        rng = random.Random(0)
+        eager = {q: 1.0 for q in range(5)}
+        lazy = DecayTable(5, increment=0.001)
+        for _ in range(200):
+            if rng.random() < 0.3:
+                eager = {q: 1.0 for q in range(5)}
+                lazy.reset_all()
+            else:
+                q = rng.randrange(5)
+                eager[q] = eager.get(q, 1.0) + 0.001
+                lazy.bump(q)
+            for q in range(5):
+                assert eager[q] == lazy.get(q)
