@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast bench check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
@@ -15,3 +15,12 @@ test-fast:
 ## writes BENCH_routing.json, the machine-readable perf trajectory.
 bench:
 	$(PYTHON) benchmarks/perf_smoke.py
+
+## Pre-commit gate: tier-1 tests plus a CLI smoke of the public surface
+## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
+## the compile_many batch driver on a reduced fixture).
+check: test
+	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
+	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
+	$(PYTHON) -m repro bench --quick --workers 2 --output $(or $(TMPDIR),/tmp)/BENCH_quick.json
+	@echo "make check: OK"

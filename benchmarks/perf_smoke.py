@@ -9,6 +9,7 @@ changes; ``mean_seconds`` is the number that should go down.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--output PATH] [--rounds N]
+                                                   [--workers N] [--quick]
 
 or equivalently ``make bench`` / ``repro-map bench``.
 """
@@ -37,10 +38,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=1, help="repetitions of the fixed workload"
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the batch driver (1 = serial)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced fixture for CI smoke runs (not comparable to full runs)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
-    record = write_perf_smoke(args.output, rounds=args.rounds)
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    record = write_perf_smoke(
+        args.output, rounds=args.rounds, workers=args.workers, quick=args.quick
+    )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
     return 0

@@ -49,8 +49,17 @@ from repro.baselines import (
 )
 from repro.affine import lift_circuit, dependence_weights, DependenceAnalysis
 from repro.qasm import circuit_from_qasm, circuit_to_qasm, load_qasm_file
+from repro import api
+from repro.api import (
+    BatchResult,
+    CompileError,
+    CompileRequest,
+    CompileResult,
+    compile_many,
+    register_router,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -87,5 +96,12 @@ __all__ = [
     "circuit_from_qasm",
     "circuit_to_qasm",
     "load_qasm_file",
+    "api",
+    "BatchResult",
+    "CompileError",
+    "CompileRequest",
+    "CompileResult",
+    "compile_many",
+    "register_router",
     "__version__",
 ]

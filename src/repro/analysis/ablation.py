@@ -18,9 +18,10 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from repro.api import CompileRequest, compile as api_compile
 from repro.benchgen.queko import QuekoCircuit
+from repro.circuit.circuit import QuantumCircuit
 from repro.core.config import QlosureConfig
-from repro.core.mapper import QlosureMapper
 from repro.hardware.coupling import CouplingGraph
 
 
@@ -32,18 +33,31 @@ ABLATION_VARIANTS: tuple[str, ...] = (
 )
 
 
-def _mapper_for_variant(variant: str, backend: CouplingGraph) -> QlosureMapper:
+def variant_request(
+    variant: str, backend: CouplingGraph, circuit: QuantumCircuit
+) -> CompileRequest:
+    """The :func:`repro.api.compile` request realising one ablation variant."""
     if variant == "distance-only":
-        return QlosureMapper(backend, config=QlosureConfig.distance_only())
-    if variant == "layer-adjusted":
-        return QlosureMapper(backend, config=QlosureConfig.layer_adjusted())
-    if variant == "dependency-weighted":
-        return QlosureMapper(backend, config=QlosureConfig.dependency_weighted())
-    if variant == "bidirectional":
-        return QlosureMapper(
-            backend, config=QlosureConfig.dependency_weighted(), bidirectional_passes=1
+        config, placement, options = QlosureConfig.distance_only(), "identity", {}
+    elif variant == "layer-adjusted":
+        config, placement, options = QlosureConfig.layer_adjusted(), "identity", {}
+    elif variant == "dependency-weighted":
+        config, placement, options = QlosureConfig.dependency_weighted(), "identity", {}
+    elif variant == "bidirectional":
+        config = QlosureConfig.dependency_weighted()
+        placement, options = "bidirectional", {"config": config, "passes": 1}
+    else:
+        raise KeyError(
+            f"unknown ablation variant {variant!r}; choose from {ABLATION_VARIANTS}"
         )
-    raise KeyError(f"unknown ablation variant {variant!r}; choose from {ABLATION_VARIANTS}")
+    return CompileRequest(
+        circuit=circuit,
+        backend=backend,
+        router="qlosure",
+        router_config=config,
+        placement=placement,
+        placement_options=options,
+    )
 
 
 @dataclass
@@ -70,9 +84,8 @@ def ablation_study(
     result = AblationResult(backend_name=backend.name)
     raw: dict[str, list[tuple[int, int]]] = {variant: [] for variant in variants}
     for variant in variants:
-        mapper = _mapper_for_variant(variant, backend)
         for instance in circuits:
-            mapped = mapper.map(instance.circuit)
+            mapped = api_compile(variant_request(variant, backend, instance.circuit))
             raw[variant].append((mapped.swaps_added, mapped.routed_depth))
             result.per_circuit.setdefault(instance.name, {})[variant] = {
                 "swaps": mapped.swaps_added,

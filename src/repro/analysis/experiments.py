@@ -14,7 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.baselines.registry import all_mappers
+from repro.api import CompileRequest, CompileResult, compile as api_compile
 from repro.benchgen.queko import QuekoCircuit
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.metrics import total_operations, two_qubit_gate_count
@@ -41,6 +41,30 @@ class ComparisonRecord:
     runtime_seconds: float
     cost_evaluations: int = 0
     extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_compile_result(
+        cls,
+        result: CompileResult,
+        optimal_depth: int | None = None,
+        circuit_name: str | None = None,
+    ) -> "ComparisonRecord":
+        """Build a record from a :func:`repro.api.compile` outcome."""
+        metrics = result.metrics
+        return cls(
+            circuit_name=circuit_name or result.circuit_name,
+            backend_name=result.backend_name,
+            mapper_name=result.router,
+            num_qubits=metrics["num_qubits"],
+            qops=metrics["qops"],
+            two_qubit_gates=metrics["two_qubit_gates"],
+            initial_depth=metrics["initial_depth"],
+            optimal_depth=optimal_depth,
+            swaps=metrics["swaps"],
+            routed_depth=metrics["routed_depth"],
+            runtime_seconds=result.route_seconds,
+            cost_evaluations=metrics["cost_evaluations"],
+        )
 
     @property
     def depth_factor(self) -> float:
@@ -104,35 +128,67 @@ def run_mapper_on_circuit(
     )
 
 
+#: Default evaluation set: the four paper baselines plus Qlosure.
+DEFAULT_COMPARISON_ROUTERS = ("lightsabre", "qmap", "cirq", "tket", "qlosure")
+
+
 def compare_mappers(
     circuits: Iterable[QuantumCircuit | QuekoCircuit],
     backend: CouplingGraph,
     mappers: Mapping[str, object] | None = None,
     mapper_names: Sequence[str] | None = None,
+    workers: int = 1,
 ) -> list[ComparisonRecord]:
     """Run a set of mappers over a set of circuits on one backend.
 
     ``circuits`` may mix plain circuits and :class:`QuekoCircuit` instances;
     for the latter, the known optimal depth is recorded so depth factors are
     relative to the optimum as in the paper's Table II.
+
+    By default the comparison goes through :func:`repro.api.compile` over the
+    registry names in :data:`DEFAULT_COMPARISON_ROUTERS` (optionally fanned
+    out across ``workers`` processes).  Passing an explicit ``mappers``
+    dictionary of pre-built router objects keeps the legacy direct-drive
+    behaviour for custom configurations.
     """
-    if mappers is None:
-        mappers = all_mappers(backend)
-    if mapper_names is not None:
-        mappers = {name: mappers[name] for name in mapper_names}
-    records: list[ComparisonRecord] = []
-    for item in circuits:
-        if isinstance(item, QuekoCircuit):
-            circuit, optimal, name = item.circuit, item.optimal_depth, item.name
-        else:
-            circuit, optimal, name = item, None, item.name
-        for mapper_name, mapper in mappers.items():
-            records.append(
-                run_mapper_on_circuit(
-                    mapper_name, mapper, circuit, backend, optimal, name
+    if mappers is not None:
+        if mapper_names is not None:
+            mappers = {name: mappers[name] for name in mapper_names}
+        records: list[ComparisonRecord] = []
+        for item in circuits:
+            circuit, optimal, name = _unpack_circuit(item)
+            for mapper_name, mapper in mappers.items():
+                records.append(
+                    run_mapper_on_circuit(
+                        mapper_name, mapper, circuit, backend, optimal, name
+                    )
                 )
-            )
+        return records
+
+    names = tuple(mapper_names) if mapper_names is not None else DEFAULT_COMPARISON_ROUTERS
+    unpacked = [_unpack_circuit(item) for item in circuits]
+    requests = [
+        CompileRequest(circuit=circuit, backend=backend, router=router, label=name)
+        for circuit, _, name in unpacked
+        for router in names
+    ]
+    from repro.api import compile_many
+
+    batch = compile_many(requests, workers=workers)
+    records = []
+    for (circuit, optimal, name), result in zip(
+        (entry for entry in unpacked for _ in names), batch
+    ):
+        records.append(
+            ComparisonRecord.from_compile_result(result, optimal, name)
+        )
     return records
+
+
+def _unpack_circuit(item: QuantumCircuit | QuekoCircuit):
+    if isinstance(item, QuekoCircuit):
+        return item.circuit, item.optimal_depth, item.name
+    return item, None, item.name
 
 
 # ---------------------------------------------------------------------------

@@ -1,44 +1,48 @@
 """Machine-readable routing performance trajectory.
 
-Routes a fixed QUEKO workload with every evaluation router and writes the
-per-router mean SWAP count, routed depth, mapping time and cost-evaluation
-count to ``BENCH_routing.json``.  The fixture (generation device, depth
-ladder, seeds) is pinned, so successive commits produce directly comparable
-numbers: quality metrics (swaps/depth) must stay constant for a
-performance-only change, and ``mean_seconds`` is the mapping-time trajectory
-the Table 4 benchmark summarises.  Run it via ``make bench``,
-``repro-map bench`` or ``python benchmarks/perf_smoke.py``.
+Routes a fixed QUEKO workload with every evaluation router through the
+:mod:`repro.api` batch driver and writes the per-router mean SWAP count,
+routed depth, mapping time and cost-evaluation count to
+``BENCH_routing.json``.  The fixture (generation device, depth ladder, seeds)
+is pinned, so successive commits produce directly comparable numbers:
+quality metrics (swaps/depth) must stay constant for a performance-only
+change -- routing is bit-for-bit deterministic per request, independent of
+``workers`` -- and ``mean_seconds`` is the mapping-time trajectory the
+Table 4 benchmark summarises, while ``wall_seconds`` tracks harness
+throughput (this is where ``workers > 1`` pays off).  Run it via
+``make bench``, ``repro-map bench`` or ``python benchmarks/perf_smoke.py``.
 """
 
 from __future__ import annotations
 
 import json
 import platform
-import statistics
-import time
 from pathlib import Path
 
-from repro.baselines.cirq_like import CirqLikeRouter
-from repro.baselines.greedy import GreedyDistanceRouter
-from repro.baselines.qmap_like import QmapLikeRouter
-from repro.baselines.sabre import LightSabreRouter, SabreRouter
-from repro.baselines.tket_like import TketLikeRouter
+from repro.api import CompileRequest, compile_many
 from repro.benchgen.queko import generate_queko_circuit
-from repro.core.router import QlosureRouter
 from repro.hardware.backends import sherbrooke
 from repro.hardware.topologies import grid_topology
 
 #: Pinned fixture: depths and per-depth seeds of the QUEKO smoke workload.
 FIXTURE_DEPTHS = (5, 10, 15)
 FIXTURE_SEEDS_PER_DEPTH = 2
+#: Reduced fixture for ``--quick`` CI smoke runs.
+QUICK_DEPTHS = (5,)
+QUICK_SEEDS_PER_DEPTH = 1
+
+#: The routers tracked by the trajectory (paper baselines + Qlosure).
+TRAJECTORY_ROUTERS = ("sabre", "lightsabre", "cirq", "tket", "qmap", "greedy", "qlosure")
 
 
-def smoke_fixture():
+def smoke_fixture(quick: bool = False):
     """The fixed QUEKO instances every perf-smoke run routes."""
+    depths = QUICK_DEPTHS if quick else FIXTURE_DEPTHS
+    seeds_per_depth = QUICK_SEEDS_PER_DEPTH if quick else FIXTURE_SEEDS_PER_DEPTH
     generation = grid_topology(6, 9, name="sycamore-54-grid")
     instances = []
-    for depth in FIXTURE_DEPTHS:
-        for index in range(FIXTURE_SEEDS_PER_DEPTH):
+    for depth in depths:
+        for index in range(seeds_per_depth):
             instances.append(
                 generate_queko_circuit(
                     generation,
@@ -50,67 +54,64 @@ def smoke_fixture():
     return instances
 
 
-def smoke_routers(backend):
-    """The routers tracked by the trajectory (paper baselines + Qlosure)."""
-    return {
-        "sabre": SabreRouter(backend),
-        "lightsabre": LightSabreRouter(backend),
-        "cirq": CirqLikeRouter(backend),
-        "tket": TketLikeRouter(backend),
-        "qmap": QmapLikeRouter(backend),
-        "greedy": GreedyDistanceRouter(backend),
-        "qlosure": QlosureRouter(backend),
-    }
+def smoke_requests(
+    backend=None, rounds: int = 1, quick: bool = False
+) -> list[CompileRequest]:
+    """The pinned request batch: every tracked router over every instance."""
+    if backend is None:
+        backend = sherbrooke()
+    backend.distance_table()  # build once, shared by every request
+    instances = smoke_fixture(quick=quick)
+    return [
+        CompileRequest(
+            circuit=instance.circuit,
+            backend=backend,
+            router=router,
+            seed=0,
+            label=instance.name,
+        )
+        for router in TRAJECTORY_ROUTERS
+        for _ in range(rounds)
+        for instance in instances
+    ]
 
 
-def run_perf_smoke(rounds: int = 1) -> dict:
+def run_perf_smoke(rounds: int = 1, workers: int = 1, quick: bool = False) -> dict:
     """Route the pinned fixture with every router; return the trajectory record."""
     if rounds < 1:
         raise ValueError("rounds must be at least 1")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     backend = sherbrooke()
-    backend.distance_table()  # build once outside the timed regions
-    instances = smoke_fixture()
-    routers = smoke_routers(backend)
+    requests = smoke_requests(backend, rounds=rounds, quick=quick)
+    batch = compile_many(requests, workers=workers)
     record: dict = {
         "benchmark": "routing-perf-smoke",
         "backend": backend.name,
         "fixture": {
             "generator": "queko",
             "generation_device": "sycamore-54-grid",
-            "depths": list(FIXTURE_DEPTHS),
-            "seeds_per_depth": FIXTURE_SEEDS_PER_DEPTH,
+            "depths": list(QUICK_DEPTHS if quick else FIXTURE_DEPTHS),
+            "seeds_per_depth": QUICK_SEEDS_PER_DEPTH if quick else FIXTURE_SEEDS_PER_DEPTH,
             "rounds": rounds,
+            "quick": quick,
         },
         "python": platform.python_version(),
-        "routers": {},
+        "workers": batch.workers,
+        "wall_seconds": round(batch.wall_seconds, 4),
+        "routers": batch.per_router(),
     }
-    for name, router in routers.items():
-        swaps: list[int] = []
-        depths: list[int] = []
-        seconds: list[float] = []
-        evaluations: list[int] = []
-        for _ in range(rounds):
-            for instance in instances:
-                start = time.perf_counter()
-                result = router.run(instance.circuit)
-                seconds.append(time.perf_counter() - start)
-                swaps.append(result.swaps_added)
-                depths.append(result.routed_depth)
-                evaluations.append(result.cost_evaluations)
-        record["routers"][name] = {
-            "mean_swaps": round(statistics.mean(swaps), 2),
-            "mean_depth": round(statistics.mean(depths), 2),
-            "mean_seconds": round(statistics.mean(seconds), 4),
-            "total_seconds": round(sum(seconds), 4),
-            "mean_cost_evaluations": round(statistics.mean(evaluations), 1),
-            "runs": len(seconds),
-        }
     return record
 
 
-def write_perf_smoke(output: Path | str = "BENCH_routing.json", rounds: int = 1) -> dict:
+def write_perf_smoke(
+    output: Path | str = "BENCH_routing.json",
+    rounds: int = 1,
+    workers: int = 1,
+    quick: bool = False,
+) -> dict:
     """Run the smoke workload and write the JSON trajectory record."""
-    record = run_perf_smoke(rounds=rounds)
+    record = run_perf_smoke(rounds=rounds, workers=workers, quick=quick)
     path = Path(output)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record
@@ -123,5 +124,16 @@ def render_trajectory(record: dict) -> str:
         lines.append(
             f"{name:12s} {stats['mean_swaps']:8.2f} {stats['mean_depth']:8.2f} "
             f"{stats['mean_seconds']:9.4f} {stats['mean_cost_evaluations']:10.1f}"
+        )
+    total_runs = sum(stats["runs"] for stats in record["routers"].values())
+    lines.append(
+        f"\nbatch: {total_runs} runs, {record['workers']} worker(s), "
+        f"wall {record['wall_seconds']:.2f}s"
+    )
+    if record["workers"] > 1:
+        lines.append(
+            "note: per-request seconds were measured under "
+            f"{record['workers']}-way process contention; compare mean_seconds "
+            "trajectories only between workers=1 runs"
         )
     return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""``repro.api`` -- the unified compile pipeline (the one public entry point).
+
+Every consumer (CLI, benchmark harness, analysis drivers, tests) maps
+circuits through this package instead of hand-wiring placement + router
+construction + routing:
+
+    from repro.api import CompileRequest, compile, compile_many
+
+    request = CompileRequest(generate="qft:24", backend="sherbrooke",
+                             router="sabre", seed=0, validation="full")
+    result = compile(request)
+    print(result.swaps_added, result.routed_depth, result.pass_timings)
+
+    batch = compile_many([request.with_seed(s) for s in range(8)], workers=4)
+    print(batch.summary())
+
+Contents:
+
+* :class:`~repro.api.request.CompileRequest` / ``CompileResult`` /
+  ``BatchResult`` -- the typed request/result surface,
+* :func:`~repro.api.pipeline.compile` -- the explicit pass pipeline
+  (load -> place -> route -> validate -> metrics) with per-pass timing,
+* :func:`~repro.api.batch.compile_many` -- the deterministic multi-process
+  batch driver,
+* :mod:`~repro.api.registry` -- the declarative ``@register_router``
+  registry all routers announce themselves to.
+
+Routed outputs are bit-for-bit reproducible: one request, one circuit,
+independent of worker count or scheduling.
+"""
+
+from repro.api.registry import (
+    RegistryError,
+    RouterSpec,
+    UnknownRouterError,
+    make_router,
+    register_router,
+    resolve_router,
+    router_names,
+    router_specs,
+    unregister_router,
+)
+from repro.api.request import CompileRequest, sweep_requests
+from repro.api.result import BatchResult, CompileResult
+from repro.api.pipeline import (
+    PASS_ORDER,
+    CompileError,
+    compile,
+    load_circuit,
+    resolve_backend,
+)
+from repro.api.batch import compile_many, compile_sweep, default_workers
+
+__all__ = [
+    "CompileRequest",
+    "CompileResult",
+    "BatchResult",
+    "CompileError",
+    "PASS_ORDER",
+    "compile",
+    "compile_many",
+    "compile_sweep",
+    "default_workers",
+    "load_circuit",
+    "resolve_backend",
+    "sweep_requests",
+    "RouterSpec",
+    "RegistryError",
+    "UnknownRouterError",
+    "register_router",
+    "unregister_router",
+    "resolve_router",
+    "router_names",
+    "router_specs",
+    "make_router",
+]

@@ -1,0 +1,86 @@
+"""Parallel batch driver: fan a list of compile requests across processes.
+
+:func:`compile_many` is the harness-facing entry point for routing many
+circuits.  Results are bit-for-bit identical to running
+:func:`repro.api.compile` serially over the same requests because every
+request carries its own seed and routing has no cross-request state; the
+driver only changes *where* each request runs, never *what* it computes.
+Result order always matches request order regardless of worker scheduling.
+
+Processes (not threads) are used because routing is pure-Python CPU work;
+the pool uses the ``fork`` start method where available so workers inherit
+the warm interpreter instead of re-importing the package.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable
+
+from repro.api.pipeline import compile as _compile
+from repro.api.request import CompileRequest
+from repro.api.result import BatchResult, CompileResult
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (at least 1)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def compile_many(
+    requests: Iterable[CompileRequest],
+    workers: int = 1,
+    chunksize: int | None = None,
+) -> BatchResult:
+    """Compile every request, fanning out across ``workers`` processes.
+
+    ``workers <= 1`` runs serially in-process (no pool, no pickling); any
+    higher count uses a process pool.  Per-request seeding is deterministic
+    -- each request's seed is fixed before scheduling -- so the routed
+    circuits are identical for every worker count.
+    """
+    requests = list(requests)
+    start = time.perf_counter()
+    effective = max(1, min(int(workers), len(requests) or 1))
+    if effective == 1:
+        results = [_compile(request) for request in requests]
+    else:
+        if chunksize is None:
+            chunksize = max(1, len(requests) // (effective * 4))
+        with ProcessPoolExecutor(
+            max_workers=effective, mp_context=_mp_context()
+        ) as pool:
+            results = list(pool.map(_compile, requests, chunksize=chunksize))
+    return BatchResult(
+        results=results,
+        workers=effective,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def compile_sweep(
+    base: CompileRequest,
+    *,
+    routers=None,
+    seeds=None,
+    circuits=None,
+    workers: int = 1,
+) -> BatchResult:
+    """Expand ``base`` with :func:`repro.api.request.sweep_requests` and compile it."""
+    from repro.api.request import sweep_requests
+
+    return compile_many(
+        sweep_requests(base, routers=routers, seeds=seeds, circuits=circuits),
+        workers=workers,
+    )
+
+
+__all__ = ["compile_many", "compile_sweep", "default_workers", "CompileResult"]

@@ -1,0 +1,179 @@
+"""The compile pipeline: load -> place -> route -> validate -> metrics.
+
+:func:`compile` is the one public entry point for mapping a circuit onto a
+device.  It runs an explicit pass sequence over a
+:class:`~repro.api.request.CompileRequest`, times every pass individually and
+returns a :class:`~repro.api.result.CompileResult`.  All router construction
+goes through the :mod:`repro.api.registry`, so a routed circuit is a pure
+function of the request: same request, same bits.
+
+Pass responsibilities:
+
+* ``load``      materialise the circuit (in-memory / QASM file / generator
+  spec) and resolve the backend coupling graph,
+* ``place``     build the initial layout with the requested strategy
+  (:mod:`repro.core.placement`),
+* ``route``     instantiate the router from the registry and run it -- this
+  pass's timing is the mapping-time trajectory number,
+* ``validate``  optional connectivity / full semantic check of the routed
+  circuit,
+* ``metrics``   derive the flat quality-metric record the evaluation tables
+  consume.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.api.registry import resolve_router
+from repro.api.request import CompileRequest
+from repro.api.result import CompileResult
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.metrics import total_operations, two_qubit_gate_count
+from repro.circuit.validation import check_connectivity, verify_routing
+from repro.hardware.coupling import CouplingGraph
+
+#: Pass execution order (also the key order of ``CompileResult.pass_timings``).
+PASS_ORDER = ("load", "place", "route", "validate", "metrics")
+
+
+class CompileError(RuntimeError):
+    """A compile request that cannot be executed (bad input, unknown name...)."""
+
+
+def load_circuit(
+    circuit: QuantumCircuit | None = None,
+    qasm: str | Path | None = None,
+    generate: str | None = None,
+) -> QuantumCircuit:
+    """Materialise a circuit from one of the three request sources.
+
+    Raises :class:`CompileError` with a one-line message on unreadable files,
+    invalid QASM or unknown generator specs.
+    """
+    from repro.api.request import check_one_source
+
+    try:
+        check_one_source(circuit, qasm, generate)
+    except ValueError as exc:
+        raise CompileError(str(exc)) from exc
+    if circuit is not None:
+        return circuit
+    if qasm is not None:
+        from repro.qasm.lexer import QasmSyntaxError
+        from repro.qasm.loader import load_qasm_file
+
+        path = Path(qasm)
+        try:
+            return load_qasm_file(path)
+        except OSError as exc:
+            raise CompileError(f"cannot read QASM file {path}: {exc}") from exc
+        except QasmSyntaxError as exc:
+            raise CompileError(f"invalid QASM in {path}: {exc}") from exc
+    from repro.benchgen.qasmbench import qasmbench_circuit
+
+    family, _, qubits = str(generate).partition(":")
+    try:
+        return qasmbench_circuit(family, int(qubits or "20"))
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        raise CompileError(f"cannot generate {generate!r}: {message}") from exc
+
+
+def resolve_backend(backend: str | CouplingGraph) -> CouplingGraph:
+    """Resolve a backend name to its coupling graph (graphs pass through)."""
+    if isinstance(backend, CouplingGraph):
+        return backend
+    from repro.hardware.backends import backend_by_name
+
+    try:
+        return backend_by_name(str(backend))
+    except KeyError as exc:
+        raise CompileError(exc.args[0] if exc.args else str(exc)) from exc
+
+
+def compile(request: CompileRequest) -> CompileResult:  # noqa: A001 - deliberate name
+    """Run the full pass pipeline for one request."""
+    try:
+        request.check()
+    except ValueError as exc:
+        raise CompileError(str(exc)) from exc
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    circuit = load_circuit(request.circuit, request.qasm, request.generate)
+    coupling = resolve_backend(request.backend)
+    timings["load"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    layout = _place(request, circuit, coupling)
+    timings["place"] = time.perf_counter() - start
+
+    spec = resolve_router(request.router)
+    router = spec.make(coupling, seed=request.seed, config=request.router_config)
+    start = time.perf_counter()
+    routing = router.run(circuit, layout)
+    timings["route"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if request.validation == "connectivity":
+        check_connectivity(routing.routed_circuit, coupling.edges())
+    elif request.validation == "full":
+        verify_routing(
+            circuit, routing.routed_circuit, coupling.edges(), routing.initial_layout
+        )
+    timings["validate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    metrics = _metrics(request, circuit, coupling, spec.name, routing, timings)
+    timings["metrics"] = time.perf_counter() - start
+
+    return CompileResult(
+        request=request,
+        routing=routing,
+        router=spec.name,
+        backend_name=coupling.name,
+        circuit_name=request.label or circuit.name,
+        pass_timings=timings,
+        metrics=metrics,
+    )
+
+
+def _place(request: CompileRequest, circuit: QuantumCircuit, coupling: CouplingGraph):
+    from repro.core.placement import initial_layout
+
+    try:
+        return initial_layout(
+            circuit, coupling, request.placement, **request.placement_options
+        )
+    except KeyError as exc:
+        raise CompileError(exc.args[0] if exc.args else str(exc)) from exc
+    except ValueError as exc:
+        raise CompileError(f"placement failed: {exc}") from exc
+
+
+def _metrics(
+    request: CompileRequest,
+    circuit: QuantumCircuit,
+    coupling: CouplingGraph,
+    router_name: str,
+    routing,
+    timings: dict[str, float],
+) -> dict:
+    return {
+        "circuit": request.label or circuit.name,
+        "backend": coupling.name,
+        "router": router_name,
+        "seed": request.seed,
+        "num_qubits": circuit.num_qubits,
+        "num_gates": len(circuit),
+        "qops": total_operations(circuit),
+        "two_qubit_gates": two_qubit_gate_count(circuit),
+        "initial_depth": routing.original_depth,
+        "swaps": routing.swaps_added,
+        "routed_depth": routing.routed_depth,
+        "depth_overhead": routing.depth_overhead,
+        "cost_evaluations": routing.cost_evaluations,
+        "runtime_seconds": round(timings["route"], 6),
+    }

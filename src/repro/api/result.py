@@ -1,0 +1,136 @@
+"""Typed compile results: per-request outcome and batch aggregate.
+
+:class:`CompileResult` wraps the raw
+:class:`~repro.routing.result.RoutingResult` with the canonical router name,
+the quality metrics the evaluation tables consume and the per-pass wall-clock
+breakdown of the pipeline.  :class:`BatchResult` aggregates an ordered list
+of compile results (one per request, input order preserved) with per-router
+summary statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.api.request import CompileRequest
+from repro.routing.result import RoutingResult
+
+
+@dataclass
+class CompileResult:
+    """Outcome of one :func:`repro.api.compile` run."""
+
+    request: CompileRequest
+    routing: RoutingResult
+    router: str
+    backend_name: str
+    circuit_name: str
+    pass_timings: dict[str, float] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    # -- convenience views over the routing result --------------------------
+
+    @property
+    def routed_circuit(self):
+        """The mapped circuit (physical operands, explicit SWAPs)."""
+        return self.routing.routed_circuit
+
+    @property
+    def swaps_added(self) -> int:
+        return self.routing.swaps_added
+
+    @property
+    def routed_depth(self) -> int:
+        return self.routing.routed_depth
+
+    @property
+    def initial_layout(self) -> dict[int, int]:
+        return self.routing.initial_layout
+
+    @property
+    def route_seconds(self) -> float:
+        """Wall-clock time of the routing pass alone."""
+        return self.pass_timings.get("route", self.routing.runtime_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time of the whole pipeline."""
+        return sum(self.pass_timings.values())
+
+    def summary(self) -> dict:
+        """Flat summary (metrics plus the timing breakdown)."""
+        return {
+            **self.metrics,
+            "pass_timings": {k: round(v, 6) for k, v in self.pass_timings.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompileResult(router={self.router!r}, circuit={self.circuit_name!r}, "
+            f"swaps={self.swaps_added}, depth={self.routed_depth}, "
+            f"time={self.total_seconds:.3f}s)"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of one :func:`repro.api.compile_many` run.
+
+    ``results`` preserves the input request order, so a batch compiled with
+    ``workers=8`` is positionally comparable to the same batch compiled
+    serially.
+    """
+
+    results: list[CompileResult]
+    workers: int
+    wall_seconds: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    @property
+    def total_route_seconds(self) -> float:
+        """Sum of per-request routing times (the serial-equivalent cost)."""
+        return sum(r.route_seconds for r in self.results)
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent routing time over batch wall-clock."""
+        return self.total_route_seconds / max(self.wall_seconds, 1e-9)
+
+    def per_router(self) -> dict[str, dict[str, float]]:
+        """Mean swaps / depth / routing seconds / cost evaluations per router."""
+        grouped: dict[str, list[CompileResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.router, []).append(result)
+        table: dict[str, dict[str, float]] = {}
+        for router, items in grouped.items():
+            table[router] = {
+                "mean_swaps": round(statistics.mean(r.swaps_added for r in items), 2),
+                "mean_depth": round(statistics.mean(r.routed_depth for r in items), 2),
+                "mean_seconds": round(statistics.mean(r.route_seconds for r in items), 4),
+                "total_seconds": round(sum(r.route_seconds for r in items), 4),
+                "mean_cost_evaluations": round(
+                    statistics.mean(r.routing.cost_evaluations for r in items), 1
+                ),
+                "runs": len(items),
+            }
+        return table
+
+    def summary(self) -> dict:
+        """Flat batch summary (used by the benchmark harness)."""
+        return {
+            "requests": len(self.results),
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "total_route_seconds": round(self.total_route_seconds, 4),
+            "speedup": round(self.speedup, 2),
+            "routers": self.per_router(),
+        }

@@ -25,11 +25,11 @@ original tools but the relative behaviour (who wins, by what rough factor)
 is preserved.
 """
 
-from repro.baselines.greedy import GreedyDistanceRouter
 from repro.baselines.sabre import SabreRouter, LightSabreRouter
 from repro.baselines.qmap_like import QmapLikeRouter
 from repro.baselines.cirq_like import CirqLikeRouter
 from repro.baselines.tket_like import TketLikeRouter
+from repro.baselines.greedy import GreedyDistanceRouter
 from repro.baselines.registry import baseline_router, available_baselines, all_mappers
 
 __all__ = [

@@ -10,6 +10,7 @@ considered with reduced weight.
 
 from __future__ import annotations
 
+from repro.api.registry import register_router
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.engine import (
     RouterError,
@@ -19,6 +20,11 @@ from repro.routing.engine import (
 )
 
 
+@register_router(
+    "cirq",
+    aliases=("cirq-like",),
+    description="Cirq-style time-sliced greedy qubit-distance router",
+)
 class CirqLikeRouter(RoutingEngine):
     """Time-sliced greedy router using summed qubit distance."""
 

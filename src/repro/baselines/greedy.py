@@ -9,6 +9,7 @@ ablation study.
 
 from __future__ import annotations
 
+from repro.api.registry import register_router
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.engine import (
     RouterError,
@@ -18,6 +19,11 @@ from repro.routing.engine import (
 )
 
 
+@register_router(
+    "greedy",
+    aliases=("greedy-distance",),
+    description="plain distance-only router (the ablation reference point)",
+)
 class GreedyDistanceRouter(RoutingEngine):
     """Pick the SWAP minimising the summed front-layer qubit distance."""
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 import itertools
 
+from repro.api.registry import register_router
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.engine import (
     RouterError,
@@ -31,6 +32,11 @@ from repro.routing.engine import (
 )
 
 
+@register_router(
+    "qmap",
+    aliases=("qmap-like",),
+    description="QMAP-style per-layer A* search (layer-local optimal decisions)",
+)
 class QmapLikeRouter(RoutingEngine):
     """Bounded per-layer A* search over SWAP sequences."""
 

@@ -1,43 +1,41 @@
-"""Registry of mappers used by the benchmark harness and the CLI."""
+"""Legacy registry facade over :mod:`repro.api.registry`.
+
+The lambda-based ``_BASELINES`` dict this module used to hold is gone: every
+router now registers itself declaratively with
+:func:`repro.api.registry.register_router`, and the helpers here delegate to
+that single registry so aliases (``qmap``/``qmap-like``, ``tket``/``pytket``,
+...) resolve to one canonical entry.  New code should use
+:mod:`repro.api` directly; these wrappers keep the historical call sites
+(tests, benchmark fixtures, examples) working.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.baselines.cirq_like import CirqLikeRouter
-from repro.baselines.greedy import GreedyDistanceRouter
-from repro.baselines.qmap_like import QmapLikeRouter
-from repro.baselines.sabre import LightSabreRouter, SabreRouter
-from repro.baselines.tket_like import TketLikeRouter
+from repro.api.registry import (
+    UnknownRouterError,
+    resolve_router,
+    router_names,
+)
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.engine import RoutingEngine
 
-_BASELINES: dict[str, Callable[[CouplingGraph], RoutingEngine]] = {
-    "sabre": lambda coupling: SabreRouter(coupling),
-    "lightsabre": lambda coupling: LightSabreRouter(coupling),
-    "qmap": lambda coupling: QmapLikeRouter(coupling),
-    "qmap-like": lambda coupling: QmapLikeRouter(coupling),
-    "cirq": lambda coupling: CirqLikeRouter(coupling),
-    "cirq-like": lambda coupling: CirqLikeRouter(coupling),
-    "tket": lambda coupling: TketLikeRouter(coupling),
-    "tket-like": lambda coupling: TketLikeRouter(coupling),
-    "pytket": lambda coupling: TketLikeRouter(coupling),
-    "greedy": lambda coupling: GreedyDistanceRouter(coupling),
-    "greedy-distance": lambda coupling: GreedyDistanceRouter(coupling),
-}
-
 
 def available_baselines() -> list[str]:
-    """Canonical names of the baseline mappers."""
-    return ["lightsabre", "qmap", "cirq", "tket", "greedy"]
+    """Canonical names of the baseline mappers (aliases deduplicated)."""
+    return router_names(kind="baseline")
 
 
-def baseline_router(name: str, coupling: CouplingGraph) -> RoutingEngine:
-    """Instantiate a baseline router by (case-insensitive) name."""
-    key = name.strip().lower()
-    if key not in _BASELINES:
-        raise KeyError(f"unknown baseline {name!r}; available: {available_baselines()}")
-    return _BASELINES[key](coupling)
+def baseline_router(
+    name: str, coupling: CouplingGraph, seed: int = 0
+) -> RoutingEngine:
+    """Instantiate a baseline router by (case-insensitive) name or alias."""
+    spec = resolve_router(name)
+    if spec.kind != "baseline":
+        raise UnknownRouterError(
+            f"{spec.name!r} is not a baseline router; available: "
+            f"{', '.join(available_baselines())}"
+        )
+    return spec.make(coupling, seed=seed)
 
 
 def all_mappers(coupling: CouplingGraph, include_qlosure: bool = True) -> dict[str, object]:
@@ -50,10 +48,8 @@ def all_mappers(coupling: CouplingGraph, include_qlosure: bool = True) -> dict[s
     from repro.core.mapper import QlosureMapper
 
     mappers: dict[str, object] = {
-        "lightsabre": LightSabreRouter(coupling),
-        "qmap": QmapLikeRouter(coupling),
-        "cirq": CirqLikeRouter(coupling),
-        "tket": TketLikeRouter(coupling),
+        name: resolve_router(name).make(coupling)
+        for name in ("lightsabre", "qmap", "cirq", "tket")
     }
     if include_qlosure:
         mappers["qlosure"] = QlosureMapper(coupling)

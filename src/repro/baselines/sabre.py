@@ -21,6 +21,7 @@ candidate, and decay resets are O(1) via the generation counter of
 
 from __future__ import annotations
 
+from repro.api.registry import register_router
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.decay import DecayTable
 from repro.routing.engine import (
@@ -31,6 +32,10 @@ from repro.routing.engine import (
 )
 
 
+@register_router(
+    "sabre",
+    description="SABRE front+extended-layer cost with qubit decay (Li et al.)",
+)
 class SabreRouter(RoutingEngine):
     """Front + extended layer SWAP selection with qubit decay."""
 
@@ -162,6 +167,10 @@ class SabreRouter(RoutingEngine):
         return (min(path[0], path[1]), max(path[0], path[1]))
 
 
+@register_router(
+    "lightsabre",
+    description="LightSABRE refinement: SABRE cost plus release-valve escapes",
+)
 class LightSabreRouter(SabreRouter):
     """LightSABRE: SABRE with the release-valve forced-progress mechanism."""
 

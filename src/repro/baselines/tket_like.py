@@ -8,10 +8,16 @@ reimplements that minimax cost family on the shared routing engine.
 
 from __future__ import annotations
 
+from repro.api.registry import register_router
 from repro.hardware.coupling import CouplingGraph
 from repro.routing.engine import RouterError, RoutingEngine, RoutingState
 
 
+@register_router(
+    "tket",
+    aliases=("tket-like", "pytket"),
+    description="tket-style time-sliced router bounding the longest qubit distance",
+)
 class TketLikeRouter(RoutingEngine):
     """Minimax-distance SWAP selection over the current front layer."""
 

@@ -6,11 +6,15 @@ Sub-commands:
   backend with a chosen mapper and print the quality metrics,
 * ``compare``   run Qlosure and the baselines on one circuit and print a
   comparison table,
-* ``backends``  list the built-in hardware back-ends,
+* ``backends``  list the built-in hardware back-ends and registered routers,
 * ``info``      print circuit statistics (qubits, gates, depth, lifted
   macro-gates) without routing,
 * ``bench``     run the routing perf smoke and write ``BENCH_routing.json``
   (the machine-readable perf trajectory; also ``make bench``).
+
+Every mapping goes through :func:`repro.api.compile`; user errors (unknown
+router or backend, unreadable or invalid QASM) exit with code 2 and a
+one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -19,27 +23,30 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.affine.lifter import lift_circuit, lifting_report
-from repro.analysis.experiments import compare_mappers
-from repro.analysis.report import render_records
-from repro.baselines.registry import available_baselines, baseline_router
-from repro.benchgen.qasmbench import qasmbench_circuit
-from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.validation import verify_routing
-from repro.core.config import QlosureConfig
-from repro.core.mapper import QlosureMapper
+from repro.api import (
+    CompileError,
+    CompileRequest,
+    UnknownRouterError,
+    compile as api_compile,
+    load_circuit,
+    resolve_backend,
+    resolve_router,
+    router_names,
+    router_specs,
+)
+from repro.circuit.validation import RoutingValidationError
 from repro.hardware.backends import available_backends, backend_by_name
-from repro.qasm.loader import load_qasm_file
 from repro.qasm.writer import write_qasm_file
 
 
-def _load_circuit(args: argparse.Namespace) -> QuantumCircuit:
-    if args.qasm:
-        return load_qasm_file(args.qasm)
-    if args.generate:
-        family, _, qubits = args.generate.partition(":")
-        return qasmbench_circuit(family, int(qubits or "20"))
-    raise SystemExit("provide --qasm FILE or --generate family:qubits")
+def _check_circuit_source(args: argparse.Namespace) -> None:
+    if (args.qasm is None) == (args.generate is None):
+        raise CompileError("provide exactly one of --qasm FILE or --generate family:qubits")
+
+
+def _load_circuit(args: argparse.Namespace):
+    _check_circuit_source(args)
+    return load_circuit(qasm=args.qasm, generate=args.generate)
 
 
 def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
@@ -51,39 +58,73 @@ def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _command_map(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args)
-    backend = backend_by_name(args.backend)
-    if args.mapper == "qlosure":
-        mapper = QlosureMapper(
-            backend,
-            config=QlosureConfig(),
-            bidirectional_passes=args.bidirectional_passes,
-        )
-        result = mapper.map(circuit)
-    else:
-        router = baseline_router(args.mapper, backend)
-        result = router.run(circuit)
-    if args.verify:
-        verify_routing(
-            circuit, result.routed_circuit, backend.edges(), result.initial_layout
-        )
-    print(f"circuit      : {circuit.name} ({circuit.num_qubits} qubits, {len(circuit)} gates)")
-    print(f"backend      : {backend.name} ({backend.num_qubits} qubits)")
-    print(f"mapper       : {result.mapper_name}")
-    print(f"swaps added  : {result.swaps_added}")
-    print(f"depth        : {circuit.depth()} -> {result.routed_depth}")
-    print(f"mapping time : {result.runtime_seconds:.3f} s")
+    _check_circuit_source(args)
+    placement = "identity"
+    placement_options: dict = {}
+    if args.bidirectional_passes > 0:
+        if resolve_router(args.mapper).name != "qlosure":
+            raise CompileError("--bidirectional-passes only applies to the qlosure mapper")
+        from repro.core.config import QlosureConfig
+
+        placement = "bidirectional"
+        # The placement passes must route with the same seed as the final run.
+        placement_options = {
+            "config": QlosureConfig(seed=args.seed),
+            "passes": args.bidirectional_passes,
+        }
+    request = CompileRequest(
+        qasm=args.qasm,
+        generate=args.generate,
+        backend=args.backend,
+        router=args.mapper,
+        seed=args.seed,
+        placement=placement,
+        placement_options=placement_options,
+        validation="full" if args.verify else "none",
+    )
+    result = api_compile(request)
+    metrics = result.metrics
+    print(
+        f"circuit      : {metrics['circuit']} "
+        f"({metrics['num_qubits']} qubits, {metrics['num_gates']} gates)"
+    )
+    print(f"backend      : {metrics['backend']}")
+    print(f"mapper       : {result.router}")
+    print(f"swaps added  : {metrics['swaps']}")
+    print(f"depth        : {metrics['initial_depth']} -> {metrics['routed_depth']}")
+    print(f"mapping time : {result.route_seconds:.3f} s (pipeline {result.total_seconds:.3f} s)")
     if args.output:
         write_qasm_file(result.routed_circuit, args.output)
         print(f"routed QASM  : {args.output}")
     return 0
 
 
+def _render_router_registry() -> str:
+    lines = []
+    for spec in router_specs():
+        aliases = ", ".join(spec.aliases) if spec.aliases else "-"
+        lines.append(f"{spec.name:12s} aliases: {aliases:28s} {spec.description}")
+    return "\n".join(lines)
+
+
 def _command_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import compare_mappers
+    from repro.analysis.report import render_records
+
     circuit = _load_circuit(args)
-    backend = backend_by_name(args.backend)
+    backend = resolve_backend(args.backend)
     records = compare_mappers([circuit], backend)
     print(render_records(records))
+    aliases = {
+        spec.name: spec.aliases
+        for spec in router_specs()
+        if spec.name in {record.mapper_name for record in records} and spec.aliases
+    }
+    if aliases:
+        rendered = "; ".join(
+            f"{name} (aliases: {', '.join(names)})" for name, names in aliases.items()
+        )
+        print(f"\nrouters are canonical registry names -- {rendered}")
     return 0
 
 
@@ -94,10 +135,14 @@ def _command_backends(_: argparse.Namespace) -> int:
             f"{name:14s} {backend.num_qubits:4d} qubits, {backend.num_edges():4d} couplings, "
             f"max degree {backend.max_degree()}"
         )
+    print("\nregistered routers:")
+    print(_render_router_registry())
     return 0
 
 
 def _command_info(args: argparse.Namespace) -> int:
+    from repro.affine.lifter import lift_circuit, lifting_report
+
     circuit = _load_circuit(args)
     program = lift_circuit(circuit)
     report = lifting_report(program)
@@ -120,8 +165,12 @@ def _command_bench(args: argparse.Namespace) -> int:
     from repro.analysis.perf_trajectory import render_trajectory, write_perf_smoke
 
     if args.rounds < 1:
-        raise SystemExit("repro-map bench: --rounds must be at least 1")
-    record = write_perf_smoke(args.output, rounds=args.rounds)
+        raise CompileError("repro-map bench: --rounds must be at least 1")
+    if args.workers < 1:
+        raise CompileError("repro-map bench: --workers must be at least 1")
+    record = write_perf_smoke(
+        args.output, rounds=args.rounds, workers=args.workers, quick=args.quick
+    )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
     return 0
@@ -141,10 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
     map_parser.add_argument(
         "--mapper",
         default="qlosure",
-        choices=["qlosure"] + available_baselines(),
-        help="mapping algorithm",
+        help=f"mapping algorithm (canonical name or alias); one of: "
+        f"{', '.join(router_names())}",
     )
-    map_parser.add_argument("--bidirectional-passes", type=int, default=0)
+    map_parser.add_argument("--seed", type=int, default=0, help="routing RNG seed")
+    map_parser.add_argument(
+        "--bidirectional-passes", type=int, default=0,
+        help="forward/backward initial-layout passes (qlosure only)",
+    )
     map_parser.add_argument("--verify", action="store_true", help="validate the routed circuit")
     map_parser.add_argument("--output", type=Path, help="write the routed circuit as QASM")
     map_parser.set_defaults(func=_command_map)
@@ -154,7 +207,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--backend", default="sherbrooke")
     compare_parser.set_defaults(func=_command_compare)
 
-    backends_parser = subparsers.add_parser("backends", help="list built-in backends")
+    backends_parser = subparsers.add_parser(
+        "backends", help="list built-in backends and registered routers"
+    )
     backends_parser.set_defaults(func=_command_backends)
 
     info_parser = subparsers.add_parser("info", help="print circuit statistics")
@@ -172,15 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--rounds", type=int, default=1, help="repetitions of the fixed workload"
     )
+    bench_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the batch driver (1 = serial)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced fixture for CI smoke runs (not comparable to full runs)",
+    )
     bench_parser.set_defaults(func=_command_bench)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point; user errors exit 2 with a one-line message."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CompileError, UnknownRouterError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro-map: error: {message}", file=sys.stderr)
+        return 2
+    except RoutingValidationError as exc:
+        print(f"repro-map: validation failed: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ one (ties broken at random), updating the SABRE-style decay values.
 from __future__ import annotations
 
 from repro.affine.dependence import DependenceAnalysis
+from repro.api.registry import register_router
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.config import QlosureConfig
 from repro.core.cost import WindowScorer
@@ -18,6 +19,12 @@ from repro.routing.decay import DecayTable
 from repro.routing.engine import RouterError, RoutingEngine, RoutingState
 
 
+@register_router(
+    "qlosure",
+    config_class=QlosureConfig,
+    kind="qlosure",
+    description="dependence-driven layered look-ahead cost M(s) (the paper's mapper)",
+)
 class QlosureRouter(RoutingEngine):
     """Dependence-driven SWAP insertion using the ``M(s)`` cost function."""
 

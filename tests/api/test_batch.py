@@ -1,0 +1,126 @@
+"""Tests for the parallel batch driver :func:`repro.api.compile_many`."""
+
+import pytest
+
+from repro.api import (
+    CompileRequest,
+    compile as api_compile,
+    compile_many,
+    router_names,
+    sweep_requests,
+)
+from repro.benchgen.qasmbench import ghz_circuit, qft_circuit
+from repro.hardware.topologies import grid_topology
+
+GRID = grid_topology(4, 4)
+
+
+def gates_of(circuit):
+    return [(g.name, g.qubits, g.params) for g in circuit]
+
+
+def batch_requests():
+    """A mixed workload: every router x two circuits x two seeds."""
+    circuits = [ghz_circuit(10), qft_circuit(7)]
+    return [
+        CompileRequest(circuit=circuit, backend=GRID, router=router, seed=seed)
+        for router in router_names()
+        for circuit in circuits
+        for seed in (0, 3)
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        requests = batch_requests()
+        serial = compile_many(requests, workers=1)
+        parallel = compile_many(requests, workers=4)
+        assert len(serial) == len(parallel) == len(requests)
+        for left, right in zip(serial, parallel):
+            assert left.router == right.router
+            assert left.request.seed == right.request.seed
+            assert gates_of(left.routed_circuit) == gates_of(right.routed_circuit)
+            assert left.routing.final_layout == right.routing.final_layout
+
+    def test_parallel_matches_individual_compile_calls(self):
+        requests = batch_requests()[:6]
+        batch = compile_many(requests, workers=3)
+        for request, result in zip(requests, batch):
+            direct = api_compile(request)
+            assert gates_of(result.routed_circuit) == gates_of(direct.routed_circuit)
+
+    def test_result_order_matches_request_order(self):
+        requests = [
+            CompileRequest(circuit=ghz_circuit(8), backend=GRID, router=router)
+            for router in ("tket", "sabre", "greedy", "cirq")
+        ]
+        batch = compile_many(requests, workers=2)
+        assert [r.router for r in batch] == ["tket", "sabre", "greedy", "cirq"]
+
+
+class TestAggregation:
+    def test_batch_result_summary(self):
+        requests = [
+            CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="sabre", seed=s)
+            for s in range(3)
+        ]
+        batch = compile_many(requests, workers=1)
+        summary = batch.summary()
+        assert summary["requests"] == 3
+        assert summary["workers"] == 1
+        assert summary["routers"]["sabre"]["runs"] == 3
+        assert summary["wall_seconds"] >= 0
+        assert batch.total_route_seconds > 0
+
+    def test_per_router_grouping(self):
+        requests = batch_requests()
+        batch = compile_many(requests, workers=1)
+        table = batch.per_router()
+        assert set(table) == set(router_names())
+        for stats in table.values():
+            assert stats["runs"] == 4  # two circuits x two seeds
+
+    def test_workers_capped_to_request_count(self):
+        batch = compile_many(
+            [CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy")],
+            workers=8,
+        )
+        assert batch.workers == 1
+
+    def test_empty_batch(self):
+        batch = compile_many([], workers=4)
+        assert len(batch) == 0
+        assert batch.per_router() == {}
+
+
+class TestSweep:
+    def test_sweep_requests_cross_product_is_deterministic(self):
+        base = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="sabre")
+        requests = sweep_requests(base, routers=("sabre", "tket"), seeds=range(3))
+        assert [(r.router, r.seed) for r in requests] == [
+            ("sabre", 0), ("sabre", 1), ("sabre", 2),
+            ("tket", 0), ("tket", 1), ("tket", 2),
+        ]
+
+    def test_sweep_accepts_one_shot_iterators(self):
+        # regression: a generator for seeds must not be exhausted by the
+        # first router, silently dropping the rest of the cross product
+        base = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="sabre")
+        requests = sweep_requests(
+            base, routers=("sabre", "tket"), seeds=(s for s in (0, 1))
+        )
+        assert len(requests) == 4
+
+    def test_sweep_over_circuits(self):
+        base = CompileRequest(generate="ghz:6", backend=GRID, router="greedy")
+        circuits = [ghz_circuit(4), qft_circuit(4)]
+        requests = sweep_requests(base, circuits=circuits)
+        assert all(r.generate is None and r.circuit is not None for r in requests)
+        assert len(requests) == 2
+
+    def test_worker_error_propagates(self):
+        requests = [
+            CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="nope")
+        ] * 3
+        with pytest.raises(KeyError):
+            compile_many(requests, workers=2)

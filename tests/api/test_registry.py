@@ -1,0 +1,124 @@
+"""Tests for the declarative router registry."""
+
+import pytest
+
+from repro.api.registry import (
+    RegistryError,
+    RouterSpec,
+    UnknownRouterError,
+    make_router,
+    register_router,
+    resolve_router,
+    router_names,
+    router_specs,
+    unregister_router,
+)
+from repro.baselines.qmap_like import QmapLikeRouter
+from repro.baselines.sabre import SabreRouter
+from repro.baselines.tket_like import TketLikeRouter
+from repro.core.config import QlosureConfig
+from repro.core.router import QlosureRouter
+from repro.hardware.topologies import grid_topology
+from repro.routing.engine import RoutingEngine
+
+GRID = grid_topology(4, 4)
+
+
+class TestBuiltinRegistrations:
+    def test_canonical_names_are_deduped(self):
+        names = router_names()
+        assert set(names) == {
+            "qlosure", "sabre", "lightsabre", "qmap", "cirq", "tket", "greedy",
+        }
+        assert len(names) == len(set(names))
+
+    def test_kind_filter(self):
+        assert "qlosure" not in router_names(kind="baseline")
+        assert router_names(kind="qlosure") == ["qlosure"]
+
+    def test_alias_resolution_is_case_insensitive(self):
+        for alias in ("tket", "tket-like", "pytket", "PyTkEt"):
+            assert resolve_router(alias).name == "tket"
+        assert resolve_router("QMAP-LIKE").factory is QmapLikeRouter
+
+    def test_unknown_name_raises_keyerror_with_plain_message(self):
+        with pytest.raises(UnknownRouterError) as excinfo:
+            resolve_router("nonexistent")
+        assert isinstance(excinfo.value, KeyError)
+        # __str__ must not wrap the message in KeyError quotes
+        assert str(excinfo.value).startswith("unknown router")
+
+    def test_specs_carry_metadata(self):
+        spec = resolve_router("tket")
+        assert spec.aliases == ("tket-like", "pytket")
+        assert spec.kind == "baseline"
+        assert spec.description
+        described = spec.describe()
+        assert described["name"] == "tket"
+        assert described["factory"].endswith("TketLikeRouter")
+
+    def test_decorated_class_exposes_its_spec(self):
+        assert SabreRouter.router_spec.name == "sabre"
+        assert QlosureRouter.router_spec.config_class is QlosureConfig
+
+    def test_make_router_uses_seed(self):
+        router = make_router("sabre", GRID, seed=7)
+        assert isinstance(router, SabreRouter)
+        assert router.seed == 7
+
+    def test_make_qlosure_derives_config_from_seed(self):
+        router = make_router("qlosure", GRID, seed=5)
+        assert isinstance(router, QlosureRouter)
+        assert router.config.seed == 5
+
+    def test_make_qlosure_accepts_explicit_config(self):
+        config = QlosureConfig.distance_only(seed=3)
+        router = make_router("qlosure", GRID, config=config)
+        assert router.config is config
+
+    def test_plain_router_rejects_config_object(self):
+        with pytest.raises(TypeError):
+            make_router("sabre", GRID, config=QlosureConfig())
+
+    def test_qlosure_rejects_wrong_config_type(self):
+        with pytest.raises(TypeError):
+            make_router("qlosure", GRID, config=object())
+
+
+class TestRoundTrip:
+    def test_register_resolve_introspect_unregister(self):
+        @register_router(
+            "unit-dummy",
+            aliases=("unit-dummy-alias",),
+            description="test-only router",
+            kind="test",
+        )
+        class DummyRouter(RoutingEngine):
+            name = "unit-dummy"
+
+        try:
+            assert resolve_router("unit-dummy").factory is DummyRouter
+            assert resolve_router("UNIT-DUMMY-ALIAS").name == "unit-dummy"
+            assert "unit-dummy" in router_names()
+            assert [s.name for s in router_specs(kind="test")] == ["unit-dummy"]
+            router = make_router("unit-dummy", GRID, seed=9)
+            assert isinstance(router, DummyRouter) and router.seed == 9
+        finally:
+            unregister_router("unit-dummy")
+        assert "unit-dummy" not in router_names()
+        with pytest.raises(UnknownRouterError):
+            resolve_router("unit-dummy-alias")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(RegistryError):
+            register_router("sabre")(type("Clash", (RoutingEngine,), {}))
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(RegistryError):
+            register_router("fresh-name", aliases=("pytket",))(
+                type("Clash", (RoutingEngine,), {})
+            )
+
+    def test_spec_all_names(self):
+        spec = RouterSpec(name="x", factory=TketLikeRouter, aliases=("y", "z"))
+        assert spec.all_names == ("x", "y", "z")

@@ -98,16 +98,25 @@ class TestQmapSpecifics:
 
 
 class TestRegistry:
-    def test_available_baselines(self):
-        assert set(available_baselines()) == {"lightsabre", "qmap", "cirq", "tket", "greedy"}
+    def test_available_baselines_are_canonical_and_deduped(self):
+        names = available_baselines()
+        assert set(names) == {"sabre", "lightsabre", "qmap", "cirq", "tket", "greedy"}
+        # aliases must not show up as duplicate entries
+        assert len(names) == len(set(names))
+        assert "qmap-like" not in names and "pytket" not in names
 
     def test_lookup_by_alias(self):
         assert isinstance(baseline_router("pytket", GRID), TketLikeRouter)
         assert isinstance(baseline_router("SABRE", GRID), SabreRouter)
+        assert isinstance(baseline_router("qmap-like", GRID), QmapLikeRouter)
 
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError):
             baseline_router("nonexistent", GRID)
+
+    def test_qlosure_is_not_a_baseline(self):
+        with pytest.raises(KeyError):
+            baseline_router("qlosure", GRID)
 
     def test_all_mappers_includes_qlosure(self):
         mappers = all_mappers(GRID)

@@ -44,3 +44,18 @@ class TestPublicApi:
     def test_analysis_helpers_importable(self):
         from repro.analysis import compare_mappers, depth_factor_table  # noqa: F401
         from repro.analysis import ablation_study, mapping_time_scaling  # noqa: F401
+
+    def test_compile_pipeline_exported(self):
+        """The README `repro.api` quickstart must keep working."""
+        request = repro.CompileRequest(
+            generate="ghz:8", backend="ankaa3", router="sabre", validation="full"
+        )
+        result = repro.api.compile(request)
+        assert result.router == "sabre"
+        batch = repro.compile_many([request.with_seed(s) for s in range(2)])
+        assert len(batch) == 2
+        assert "sabre" in batch.per_router()
+
+    def test_registry_exported(self):
+        assert "qlosure" in repro.api.router_names()
+        assert repro.api.resolve_router("pytket").name == "tket"

@@ -22,6 +22,18 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "sherbrooke" in output and "ankaa3" in output
 
+    def test_backends_lists_canonical_routers_with_aliases(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "registered routers:" in output
+        assert "tket-like, pytket" in output
+        assert "qmap-like" in output
+        # canonical names appear once, aliases never as standalone rows
+        router_rows = [
+            line for line in output.splitlines() if line.strip().startswith("qmap")
+        ]
+        assert len(router_rows) == 1
+
     def test_info_on_generated_circuit(self, capsys):
         assert main(["info", "--generate", "qft:8"]) == 0
         output = capsys.readouterr().out
@@ -60,6 +72,51 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "q0" in output and "X" in output
 
-    def test_missing_circuit_source_errors(self):
-        with pytest.raises(SystemExit):
-            main(["info"])
+    def test_missing_circuit_source_errors(self, capsys):
+        assert main(["info"]) == 2
+        err = capsys.readouterr().err
+        # the message must name the CLI flags, not Python kwargs
+        assert "--qasm" in err and "--generate" in err
+
+    def test_compare_prints_alias_note(self, capsys):
+        assert main(["compare", "--generate", "ghz:6", "--backend", "ankaa3"]) == 0
+        output = capsys.readouterr().out
+        assert "aliases" in output and "pytket" in output
+
+    def test_map_accepts_router_alias(self, capsys):
+        assert main(
+            ["map", "--generate", "ghz:8", "--backend", "ankaa3", "--mapper", "pytket"]
+        ) == 0
+        assert "tket" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_unknown_router_exits_2_with_one_line_message(self, capsys):
+        code = main(["map", "--generate", "ghz:8", "--mapper", "does-not-exist"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown router" in err
+        assert len(err.strip().splitlines()) == 1  # one-line message, no traceback
+
+    def test_unreadable_qasm_exits_2(self, capsys, tmp_path):
+        code = main(["map", "--qasm", str(tmp_path / "missing.qasm")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot read QASM file" in err
+
+    def test_invalid_qasm_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text("OPENQASM 2.0;\nqreg q[2];\nnot-a-gate q[0];\n")
+        code = main(["map", "--qasm", str(bad)])
+        assert code == 2
+        assert "invalid QASM" in capsys.readouterr().err
+
+    def test_unknown_backend_exits_2(self, capsys):
+        code = main(["map", "--generate", "ghz:8", "--backend", "nope"])
+        assert code == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_unknown_generator_family_exits_2(self, capsys):
+        code = main(["map", "--generate", "nosuchfamily:8"])
+        assert code == 2
+        assert "cannot generate" in capsys.readouterr().err
