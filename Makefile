@@ -1,25 +1,35 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench check
+.PHONY: test test-fast test-golden bench check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Unit tests only (skips the slow paper-table benchmarks).
+## Unit tests only (tier-1 minus the slow paper-table benchmarks/).
 test-fast:
 	$(PYTHON) -m pytest tests -x -q
 
+## Golden determinism snapshots: every registered router against the pinned
+## routed outputs under tests/data/golden/ (the required gate for hot-path
+## changes; regen via tests/routing/test_golden.py --update-golden).
+test-golden:
+	$(PYTHON) -m pytest tests/routing/test_golden.py -q
+
 ## Routing perf smoke: routes a pinned QUEKO workload with every router and
 ## writes BENCH_routing.json, the machine-readable perf trajectory.
+## Add `--compare BENCH_routing.json` (before overwriting) to fail on any
+## per-router mean swaps/depth drift.
 bench:
 	$(PYTHON) benchmarks/perf_smoke.py
 
-## Pre-commit gate: tier-1 tests plus a CLI smoke of the public surface
-## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
-## the compile_many batch driver on a reduced fixture).
-check: test
+## Pre-commit gate: golden determinism snapshots first (a routed-output
+## regression fails in seconds, before the slow suite), then tier-1 tests,
+## then a CLI smoke of the public surface (`repro-map map` routes through
+## repro.api.compile; `bench --quick` drives the compile_many batch driver
+## on a reduced fixture).
+check: test-golden test
 	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
 	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
 	$(PYTHON) -m repro bench --quick --workers 2 --output $(or $(TMPDIR),/tmp)/BENCH_quick.json

@@ -10,13 +10,19 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--output PATH] [--rounds N]
                                                    [--workers N] [--quick]
+                                                   [--compare BASELINE]
 
-or equivalently ``make bench`` / ``repro-map bench``.
+or equivalently ``make bench`` / ``repro-map bench``.  ``--compare`` turns
+the run into a determinism gate: per-router ``mean_swaps``/``mean_depth``
+are checked against an earlier trajectory record (routing is bit-for-bit
+deterministic, so a perf-only change must leave them untouched) and any
+drift exits non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -24,7 +30,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.analysis.perf_trajectory import render_trajectory, write_perf_smoke
+from repro.analysis.perf_trajectory import (
+    quality_regressions,
+    render_trajectory,
+    write_perf_smoke,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,16 +56,35 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="reduced fixture for CI smoke runs (not comparable to full runs)",
     )
+    parser.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE",
+        help="fail when per-router mean swaps/depth diverge from this "
+        "earlier trajectory record (determinism gate for perf changes)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = json.loads(args.compare.read_text())
+        except (OSError, ValueError) as exc:
+            parser.error(f"--compare: cannot read baseline {args.compare}: {exc}")
     record = write_perf_smoke(
         args.output, rounds=args.rounds, workers=args.workers, quick=args.quick
     )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
+    if baseline is not None:
+        problems = quality_regressions(record, baseline)
+        if problems:
+            print(f"\nquality drift vs {args.compare}:", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"quality identical to {args.compare} (swaps/depth unchanged)")
     return 0
 
 

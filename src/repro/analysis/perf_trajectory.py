@@ -137,3 +137,32 @@ def render_trajectory(record: dict) -> str:
             "trajectories only between workers=1 runs"
         )
     return "\n".join(lines)
+
+
+def quality_regressions(record: dict, baseline: dict) -> list[str]:
+    """Quality drift between two trajectory records (same fixture expected).
+
+    Routing is bit-for-bit deterministic per seed, so for a performance-only
+    change ``mean_swaps`` and ``mean_depth`` must match the baseline exactly
+    for every router the two records share; ``mean_seconds`` and cost
+    evaluation counts are allowed to move.  Returns one human-readable line
+    per divergence (empty list = no quality change).
+    """
+    problems: list[str] = []
+    if record.get("fixture") != baseline.get("fixture"):
+        problems.append(
+            f"fixture mismatch: {record.get('fixture')} != {baseline.get('fixture')}"
+        )
+    current = record.get("routers", {})
+    previous = baseline.get("routers", {})
+    for router in sorted(set(current) & set(previous)):
+        for metric in ("mean_swaps", "mean_depth"):
+            new, old = current[router][metric], previous[router][metric]
+            if new != old:
+                problems.append(
+                    f"{router}: {metric} changed {old} -> {new} "
+                    "(routed output diverged; run the golden tests)"
+                )
+    for router in sorted(set(previous) - set(current)):
+        problems.append(f"{router}: present in baseline but missing from this run")
+    return problems

@@ -42,14 +42,20 @@ def compile_many(
 ) -> BatchResult:
     """Compile every request, fanning out across ``workers`` processes.
 
-    ``workers <= 1`` runs serially in-process (no pool, no pickling); any
-    higher count uses a process pool.  Per-request seeding is deterministic
-    -- each request's seed is fixed before scheduling -- so the routed
-    circuits are identical for every worker count.
+    ``workers`` must be at least 1: exactly 1 runs serially in-process (no
+    pool, no pickling); any higher count uses a process pool, clamped to the
+    number of requests (extra workers would only sit idle).  Zero or
+    negative counts raise :class:`ValueError` instead of being silently
+    serialised.  Per-request seeding is deterministic -- each request's seed
+    is fixed before scheduling -- so the routed circuits are identical for
+    every worker count.
     """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
     requests = list(requests)
     start = time.perf_counter()
-    effective = max(1, min(int(workers), len(requests) or 1))
+    effective = min(workers, len(requests) or 1)
     if effective == 1:
         results = [_compile(request) for request in requests]
     else:

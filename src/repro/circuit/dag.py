@@ -10,8 +10,7 @@ the baselines need: front layer, successors, ASAP levels, descendant counts
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Gate
@@ -40,6 +39,11 @@ class CircuitDAG:
                         self._successors[prev].append(idx)
                         self._predecessors[idx].append(prev)
                 last_on_qubit[qubit] = idx
+        self._position = {
+            index: pos for pos, index in enumerate(self._gate_indices)
+        }
+        #: Cached descendant bitsets (lazily built; the DAG is immutable).
+        self._reach_bits: list[int] | None = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -102,36 +106,62 @@ class CircuitDAG:
         levels = self.asap_levels()
         return max(levels.values()) + 1 if levels else 0
 
+    def _descendant_bitsets(self) -> list[int]:
+        """Transitive-successor bitsets, one Python int per gate.
+
+        Bit ``p`` of ``bitsets[pos]`` is set when the gate at position ``p``
+        of :attr:`gate_indices` is a transitive successor of the gate at
+        position ``pos``.  Computed once with reverse-topological
+        propagation over position-indexed lists (``reach[pos] |=
+        (1 << succ_pos) | reach[succ_pos]``) and cached -- the DAG is
+        immutable -- so both :meth:`descendant_counts` and
+        :meth:`descendants` are served from the same propagation instead of
+        re-walking edges per query.
+        """
+        if self._reach_bits is None:
+            position = self._position
+            successors = self._successors
+            count = len(self._gate_indices)
+            succ_positions = [
+                [position[succ] for succ in successors[index]]
+                for index in self._gate_indices
+            ]
+            reach = [0] * count
+            for pos in range(count - 1, -1, -1):
+                bits = 0
+                for succ_pos in succ_positions[pos]:
+                    bits |= (1 << succ_pos) | reach[succ_pos]
+                reach[pos] = bits
+            self._reach_bits = reach
+        return self._reach_bits
+
     def descendant_counts(self) -> dict[int, int]:
         """Number of transitive successors of every gate.
 
-        This is the dependence weight ``omega`` of the paper, computed here
-        with reverse-topological bitset propagation so that it scales to
+        This is the dependence weight ``omega`` of the paper: the popcount
+        of each gate's cached descendant bitset, so that it scales to
         circuits with tens of thousands of gates.
         """
-        position = {index: pos for pos, index in enumerate(self._gate_indices)}
-        reach: dict[int, int] = {}
-        counts: dict[int, int] = {}
-        for index in reversed(self._gate_indices):
-            bits = 0
-            for succ in self._successors[index]:
-                bits |= 1 << position[succ]
-                bits |= reach[succ]
-            reach[index] = bits
-            counts[index] = bits.bit_count()
-        return counts
+        reach = self._descendant_bitsets()
+        return {
+            index: reach[pos].bit_count()
+            for pos, index in enumerate(self._gate_indices)
+        }
 
     def descendants(self, index: int) -> set[int]:
-        """The set of transitive successors of a single gate."""
-        visited: set[int] = set()
-        queue = deque(self._successors[index])
-        while queue:
-            node = queue.popleft()
-            if node in visited:
-                continue
-            visited.add(node)
-            queue.extend(self._successors[node])
-        return visited
+        """The set of transitive successors of a single gate.
+
+        Decoded from the cached bitset (O(result size)), so querying many
+        gates costs one propagation total instead of one graph walk each.
+        """
+        bits = self._descendant_bitsets()[self._position[index]]
+        gate_indices = self._gate_indices
+        result: set[int] = set()
+        while bits:
+            low = bits & -bits
+            result.add(gate_indices[low.bit_length() - 1])
+            bits ^= low
+        return result
 
     def dependence_pairs(self) -> Iterator[tuple[int, int]]:
         """Iterate the immediate dependence edges as (earlier, later) pairs."""

@@ -58,8 +58,12 @@ class WindowScorer:
         self._config = config
         self._decay = decay
         self._distance = state.distance_rows()
-        # Per-window-gate records: (layer position, weight factor, phys1, phys2).
-        self._entries: list[tuple[int, float, int, int]] = []
+        # Per-window-gate records: (layer position, weight factor, phys1,
+        # phys2, current distance).  The distance is memoised at build time
+        # -- the scorer lives for exactly one stall, during which the layout
+        # is frozen -- so scoring a candidate only looks up the *tentative*
+        # distance of each affected gate.
+        self._entries: list[tuple[int, float, int, int, int]] = []
         self._layer_sizes: list[int] = []
         self._base_gammas: list[float] = []
         self._touching: dict[int, list[int]] = defaultdict(list)
@@ -86,11 +90,12 @@ class WindowScorer:
                 if use_discount:
                     factor /= layer_index
                 entry_index = len(entries)
-                entries.append((layer_position, factor, p1, p2))
+                base_distance = self._distance[p1][p2]
+                entries.append((layer_position, factor, p1, p2, base_distance))
                 touching[p1].append(entry_index)
                 if p2 != p1:
                     touching[p2].append(entry_index)
-                gamma += factor * self._distance[p1][p2]
+                gamma += factor * base_distance
             self._base_gammas.append(gamma)
 
     def base_score(self) -> float:
@@ -112,8 +117,7 @@ class WindowScorer:
         entries = self._entries
         distance = self._distance
         for entry_index in affected:
-            layer_position, factor, g1, g2 = entries[entry_index]
-            old = distance[g1][g2]
+            layer_position, factor, g1, g2, old = entries[entry_index]
             n1 = p2 if g1 == p1 else p1 if g1 == p2 else g1
             n2 = p2 if g2 == p1 else p1 if g2 == p2 else g2
             new = distance[n1][n2]

@@ -42,6 +42,13 @@ class QlosureRouter(RoutingEngine):
         )
         self._weights: dict[int, int] = {}
         self._decay = DecayTable(0, self.config.decay_increment)
+        # Look-ahead window memoised by front signature: the window is a
+        # function of the front layer and the executed set alone (its size
+        # counts distinct *logical* operands, and layering ignores
+        # connectivity), both frozen while a stall episode commits SWAPs, so
+        # consecutive stalls on the same front reuse it verbatim.
+        self._window_signature: tuple[int, ...] | None = None
+        self._window = None
 
     # -- engine hooks -----------------------------------------------------------
 
@@ -50,6 +57,8 @@ class QlosureRouter(RoutingEngine):
         analysis = DependenceAnalysis(state.circuit)
         self._weights = analysis.weights()
         self._decay = DecayTable(state.circuit.num_qubits, self.config.decay_increment)
+        self._window_signature = None
+        self._window = None
 
     def on_gate_executed(self, state: RoutingState, index: int) -> None:
         """Reset decay values after a successful two-qubit gate execution."""
@@ -71,12 +80,16 @@ class QlosureRouter(RoutingEngine):
         candidates = state.candidate_swaps()
         if not candidates:
             raise RouterError("no candidate SWAPs available (disconnected front layer?)")
-        window = build_lookahead(
-            state,
-            self._lookahead_constant,
-            cap=self.config.max_lookahead_gates,
-            front_only=self.config.lookahead_only_front,
-        )
+        signature = state.front_signature()
+        if signature != self._window_signature:
+            self._window = build_lookahead(
+                state,
+                self._lookahead_constant,
+                cap=self.config.max_lookahead_gates,
+                front_only=self.config.lookahead_only_front,
+            )
+            self._window_signature = signature
+        window = self._window
         scorer = WindowScorer(state, window, self._weights, self._decay, self.config)
         score = scorer.score
         best_cost = float("inf")

@@ -37,6 +37,14 @@ on every query.  Heuristics plugged into the engine must respect three rules:
   qubit operands of gate ``i`` (``None`` for single-qubit gates and
   barriers) and ``state.is_2q[i]`` flags exactly-two-qubit gates; cost loops
   should consume these instead of re-reading ``Gate`` objects.
+* **Per-layer memoisation.**  :meth:`RoutingState.front_pairs` returns the
+  *logical* operand pairs of the unresolved front gates as a cached list
+  (same order as :meth:`RoutingState.unresolved_front`), and
+  :meth:`RoutingState.front_signature` a hashable key identifying the
+  current front layer.  Search-based heuristics should key any
+  memoisation that must survive a committed SWAP (layouts change, the
+  front layer does not) on the signature instead of recomputing
+  per-layer tables from scratch.
 
 Replaying the same seed against the same circuit and device reproduces the
 emitted gate sequence bit for bit: caches only memoise what the non-cached
@@ -120,6 +128,7 @@ class RoutingState:
         self._neighbor_table = self.coupling.neighbor_table
         self._front_dirty = True
         self._unresolved: list[int] = []
+        self._front_pairs: list[tuple[int, int]] = []
         self._front_physical: set[int] = set()
         self._candidates: list[tuple[int, int]] = []
 
@@ -183,6 +192,7 @@ class RoutingState:
         op_pairs = self.op_pairs
         is_2q = self.is_2q
         unresolved: list[int] = []
+        front_pairs: list[tuple[int, int]] = []
         front_physical: set[int] = set()
         for index in self.front:
             if not is_2q[index]:
@@ -193,9 +203,11 @@ class RoutingState:
             if adjacency[p1 * n + p2]:
                 continue
             unresolved.append(index)
+            front_pairs.append((q1, q2))
             front_physical.add(p1)
             front_physical.add(p2)
         self._unresolved = unresolved
+        self._front_pairs = front_pairs
         self._front_physical = front_physical
         self._candidates = self._build_candidates(front_physical)
         self._front_dirty = False
@@ -225,6 +237,29 @@ class RoutingState:
         if self._front_dirty:
             self._refresh_front()
         return self._candidates
+
+    def front_pairs(self) -> list[tuple[int, int]]:
+        """Logical operand pairs of the unresolved front gates (cached view).
+
+        Order matches :meth:`unresolved_front`.  Logical pairs are layout
+        independent, so the list survives committed SWAPs verbatim until a
+        gate retires.
+        """
+        if self._front_dirty:
+            self._refresh_front()
+        return self._front_pairs
+
+    def front_signature(self) -> tuple[int, ...]:
+        """Hashable identity of the current front layer (memoisation key).
+
+        Two states with equal signatures have the same unresolved gates in
+        the same order; per-layer tables (heuristic rows, candidate
+        expansions) keyed on the signature stay valid across the SWAPs
+        committed while the layer is being resolved.
+        """
+        if self._front_dirty:
+            self._refresh_front()
+        return tuple(self._unresolved)
 
     def distance_rows(self):
         """Row-view binding of the *current* distance table.

@@ -93,6 +93,33 @@ class TestAggregation:
         assert batch.per_router() == {}
 
 
+class TestWorkerValidation:
+    """Regression: bad worker counts must fail loudly, not hang or serialise."""
+
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_non_positive_workers_raise_value_error(self, workers):
+        requests = [
+            CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy")
+        ]
+        with pytest.raises(ValueError, match="workers must be at least 1"):
+            compile_many(requests, workers=workers)
+
+    def test_oversized_worker_count_is_clamped_and_deterministic(self):
+        # container is single-core: this checks determinism and the clamp,
+        # not wall-clock speedup
+        requests = [
+            CompileRequest(
+                circuit=ghz_circuit(8), backend=GRID, router="greedy", seed=s
+            )
+            for s in range(3)
+        ]
+        batch = compile_many(requests, workers=64)
+        assert batch.workers == len(requests)
+        serial = compile_many(requests, workers=1)
+        for left, right in zip(batch, serial):
+            assert gates_of(left.routed_circuit) == gates_of(right.routed_circuit)
+
+
 class TestSweep:
     def test_sweep_requests_cross_product_is_deterministic(self):
         base = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="sabre")

@@ -1,0 +1,109 @@
+"""Cross-checks for the bitset descendant propagation in :mod:`repro.circuit.dag`.
+
+``CircuitDAG.descendant_counts`` / ``descendants`` are served from one cached
+reverse-topological bitset propagation (one Python int per gate).  These
+tests pin that rewrite against two independent references on randomly
+generated DAGs:
+
+* a brute-force reachability oracle (DFS over immediate successors), and
+* the seed implementation (dict-keyed bitset propagation for the counts,
+  breadth-first search for the descendant sets), re-implemented verbatim
+  here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.benchgen.queko import generate_queko_circuit
+from repro.benchgen.random_circuits import random_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDAG
+from repro.hardware.topologies import grid_topology
+
+
+def oracle_descendants(dag: CircuitDAG, index: int) -> set[int]:
+    """Transitive successors by plain DFS (the ground truth)."""
+    seen: set[int] = set()
+    stack = list(dag.successors(index))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(dag.successors(node))
+    return seen
+
+
+def seed_descendant_counts(dag: CircuitDAG) -> dict[int, int]:
+    """The seed dict-based propagation, kept as an independent reference."""
+    gate_indices = dag.gate_indices
+    position = {index: pos for pos, index in enumerate(gate_indices)}
+    reach: dict[int, int] = {}
+    counts: dict[int, int] = {}
+    for index in reversed(gate_indices):
+        bits = 0
+        for succ in dag.successors(index):
+            bits |= 1 << position[succ]
+            bits |= reach[succ]
+        reach[index] = bits
+        counts[index] = bits.bit_count()
+    return counts
+
+
+def seed_descendants(dag: CircuitDAG, index: int) -> set[int]:
+    """The seed BFS implementation of the descendant set."""
+    visited: set[int] = set()
+    queue = deque(dag.successors(index))
+    while queue:
+        node = queue.popleft()
+        if node in visited:
+            continue
+        visited.add(node)
+        queue.extend(dag.successors(node))
+    return visited
+
+
+def random_dags():
+    rng = random.Random(2024)
+    cases = [
+        CircuitDAG(random_circuit(6, 25, seed=rng.randrange(10**6))),
+        CircuitDAG(random_circuit(10, 60, two_qubit_fraction=0.8, seed=7)),
+        CircuitDAG(random_circuit(4, 15, seed=3), include_single_qubit=False),
+        CircuitDAG(
+            generate_queko_circuit(grid_topology(3, 3), depth=5, seed=1).circuit
+        ),
+        CircuitDAG(QuantumCircuit(3)),  # empty DAG
+    ]
+    chain = QuantumCircuit(2)
+    for _ in range(12):
+        chain.cx(0, 1)
+    cases.append(CircuitDAG(chain))
+    return cases
+
+
+@pytest.mark.parametrize("dag", random_dags(), ids=lambda d: repr(d))
+class TestBitsetDescendants:
+    def test_counts_match_brute_force_oracle(self, dag):
+        counts = dag.descendant_counts()
+        assert set(counts) == set(dag.gate_indices)
+        for index in dag.gate_indices:
+            assert counts[index] == len(oracle_descendants(dag, index))
+
+    def test_counts_match_seed_implementation(self, dag):
+        assert dag.descendant_counts() == seed_descendant_counts(dag)
+
+    def test_descendant_sets_match_oracle_and_seed(self, dag):
+        for index in dag.gate_indices:
+            expected = oracle_descendants(dag, index)
+            assert dag.descendants(index) == expected
+            assert seed_descendants(dag, index) == expected
+
+    def test_cached_propagation_is_stable_across_queries(self, dag):
+        first = dag.descendant_counts()
+        for index in dag.gate_indices:
+            assert len(dag.descendants(index)) == first[index]
+        assert dag.descendant_counts() == first

@@ -1,0 +1,199 @@
+"""Property tests for the incremental QMAP-style A* search.
+
+The A* rewrite (deferred placement materialisation, incremental heuristic
+deltas, goal-aware push pruning, adaptive node budget) is only allowed to
+change *how fast* the search runs, never *what* it commits.  These tests pin
+the search-theoretic properties that proof rests on:
+
+* the summed-distance heuristic is admissible -- and exact -- for
+  single-gate fronts, and the ``min-distance - 1`` bound is admissible for
+  fronts of any width, on random couplings (checked against a
+  breadth-first-search oracle over the full layout space);
+* the closed set never re-expands a layout signature within one search;
+* exhausting the node budget falls back to the deterministic greedy rule
+  (identical output on every run);
+* routing the same seed twice emits bit-for-bit identical gate sequences;
+* the adaptive near-routable budget commits exactly the SWAPs the
+  untightened search would.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.baselines.qmap_like import QmapLikeRouter
+from repro.benchgen.queko import generate_queko_circuit
+from repro.benchgen.random_circuits import random_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.validation import verify_routing
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.topologies import grid_topology, line_topology
+
+
+def random_connected_coupling(num_qubits: int, rng: random.Random) -> CouplingGraph:
+    """A random connected device: a random spanning tree plus extra edges."""
+    nodes = list(range(num_qubits))
+    rng.shuffle(nodes)
+    edges = {
+        tuple(sorted((nodes[i], rng.choice(nodes[:i]))))
+        for i in range(1, num_qubits)
+    }
+    for _ in range(num_qubits // 2):
+        a, b = rng.sample(range(num_qubits), 2)
+        edges.add(tuple(sorted((a, b))))
+    return CouplingGraph(num_qubits, sorted(edges))
+
+
+def optimal_swaps_to_goal(coupling, placement, pairs) -> int:
+    """BFS oracle: minimum SWAPs until *some* pair is adjacent.
+
+    Explores the full layout space (small devices only), applying every
+    coupling edge as a SWAP of whatever the two locations hold.
+    """
+    distance = coupling.distance_table().rows
+    edges = [tuple(edge) for edge in coupling.edges()]
+    n = coupling.num_qubits
+
+    def is_goal(pl):
+        return any(distance[pl[q1]][pl[q2]] == 1 for q1, q2 in pairs)
+
+    start = tuple(placement)
+    if is_goal(start):
+        return 0
+    seen = {start}
+    queue = deque([(start, 0)])
+    while queue:
+        state, depth = queue.popleft()
+        inverse = [-1] * n
+        for logical, physical in enumerate(state):
+            inverse[physical] = logical
+        for a, b in edges:
+            child = list(state)
+            if inverse[a] >= 0:
+                child[inverse[a]] = b
+            if inverse[b] >= 0:
+                child[inverse[b]] = a
+            key = tuple(child)
+            if key in seen:
+                continue
+            if is_goal(child):
+                return depth + 1
+            seen.add(key)
+            queue.append((key, depth + 1))
+    raise AssertionError("goal unreachable on a connected device")
+
+
+class TestHeuristicAdmissibility:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_single_pair_heuristic_is_exact(self, trial):
+        """For one front gate the heuristic equals the optimal SWAP count."""
+        rng = random.Random(100 + trial)
+        num_qubits = rng.randint(4, 7)
+        coupling = random_connected_coupling(num_qubits, rng)
+        distance = coupling.distance_table().rows
+        num_logical = rng.randint(2, num_qubits)
+        placement = rng.sample(range(num_qubits), num_logical)
+        pairs = [tuple(rng.sample(range(num_logical), 2))]
+        heuristic = QmapLikeRouter._heuristic(distance, placement, pairs)
+        optimal = optimal_swaps_to_goal(coupling, placement, pairs)
+        assert heuristic <= optimal  # admissible
+        assert heuristic == optimal  # and exact for a single pair
+
+    @pytest.mark.parametrize("trial", range(20))
+    def test_multi_pair_bound_is_admissible(self, trial):
+        """``min pair distance - 1`` never overestimates for any front width."""
+        rng = random.Random(300 + trial)
+        num_qubits = rng.randint(4, 7)
+        coupling = random_connected_coupling(num_qubits, rng)
+        distance = coupling.distance_table().rows
+        num_logical = rng.randint(4, num_qubits)
+        placement = rng.sample(range(num_qubits), num_logical)
+        logicals = list(range(num_logical))
+        rng.shuffle(logicals)
+        pairs = [
+            (logicals[i], logicals[i + 1])
+            for i in range(0, num_logical - 1, 2)
+        ]
+        bound = QmapLikeRouter._admissible_bound(distance, placement, pairs)
+        assert bound <= optimal_swaps_to_goal(coupling, placement, pairs)
+
+
+class RecordingRouter(QmapLikeRouter):
+    """Asserts, per search, that no layout signature is expanded twice."""
+
+    record_expansions = True
+
+    def select_swap(self, state):
+        swap = super().select_swap(state)
+        keys = self.last_expanded_keys
+        assert keys is not None and len(keys) == len(set(keys)), (
+            "closed set re-expanded a layout signature"
+        )
+        return swap
+
+
+class ExhaustedBudgetRouter(QmapLikeRouter):
+    """Budget of one: every search exhausts after the root expansion."""
+
+    node_budget = 1
+
+
+class UntightenedRouter(QmapLikeRouter):
+    """Adaptive near-routable tightening disabled."""
+
+    near_routable_budget = 10**9
+
+
+def _route_gates(router_cls, circuit, coupling, seed=0, **kwargs):
+    result = router_cls(coupling, seed=seed, **kwargs).run(circuit)
+    return [(g.name, g.qubits, g.params) for g in result.routed_circuit]
+
+
+class TestSearchProperties:
+    def workloads(self):
+        grid = grid_topology(3, 4)
+        queko = generate_queko_circuit(grid_topology(3, 3), depth=6, seed=4).circuit
+        rand = random_circuit(8, 30, seed=9)
+        return [(queko, grid), (rand, grid)]
+
+    def test_closed_set_never_reexpands(self):
+        for circuit, coupling in self.workloads():
+            RecordingRouter(coupling).run(circuit)
+
+    def test_budget_exhaustion_falls_back_deterministically(self):
+        for circuit, coupling in self.workloads():
+            first = _route_gates(ExhaustedBudgetRouter, circuit, coupling)
+            second = _route_gates(ExhaustedBudgetRouter, circuit, coupling)
+            assert first == second
+            result = ExhaustedBudgetRouter(coupling).run(circuit)
+            verify_routing(
+                circuit,
+                result.routed_circuit,
+                coupling.edges(),
+                result.initial_layout,
+            )
+
+    def test_same_seed_twice_is_bit_for_bit_identical(self):
+        for circuit, coupling in self.workloads():
+            for seed in (0, 13):
+                assert _route_gates(
+                    QmapLikeRouter, circuit, coupling, seed=seed
+                ) == _route_gates(QmapLikeRouter, circuit, coupling, seed=seed)
+
+    def test_adaptive_budget_matches_untightened_search(self):
+        """Tightening the budget on nearly-routable fronts is outcome-free."""
+        for circuit, coupling in self.workloads():
+            assert _route_gates(QmapLikeRouter, circuit, coupling) == _route_gates(
+                UntightenedRouter, circuit, coupling
+            )
+
+    def test_nearly_routable_front_commits_the_optimal_swap(self):
+        """Single pair at distance 2 resolves with exactly one SWAP."""
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        line = line_topology(4)
+        result = QmapLikeRouter(line).run(circuit, initial_layout={0: 0, 1: 2})
+        assert result.swaps_added == 1

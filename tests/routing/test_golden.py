@@ -1,0 +1,160 @@
+"""Golden determinism snapshots for every registered router.
+
+Routing in this repository is bit-for-bit deterministic per seed, and the
+performance work on the hot paths (incremental A*, bitset dependence
+weights) relies on that invariant: a perf-only change must reproduce the
+exact SWAP sequence of the snapshot.  This suite pins, for every router in
+the registry and two small pinned circuits (one QUEKO, one QASMBench), the
+
+* SHA-256 hash of the ordered SWAP sequence (physical qubit pairs),
+* SHA-256 hash of the full emitted gate sequence,
+* routed depth, and
+* inserted SWAP count
+
+against JSON files under ``tests/data/golden/``.  Any mismatch means routed
+output changed: either a genuine regression, or an intentional
+behaviour-changing router change.
+
+Updating the snapshots
+----------------------
+
+Only regenerate after an *intentional* routing-behaviour change (never to
+make a performance PR pass -- perf changes must keep them green)::
+
+    PYTHONPATH=src python tests/routing/test_golden.py --update-golden
+
+then commit the rewritten ``tests/data/golden/*.json`` together with the
+change that justified them, and mention the regeneration in the PR.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import CompileRequest, compile as api_compile, router_names
+from repro.benchgen.qasmbench import qft_circuit
+from repro.benchgen.queko import generate_queko_circuit
+from repro.hardware.topologies import grid_topology
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
+
+#: Pinned seed used for every snapshot request.
+GOLDEN_SEED = 0
+
+
+def golden_circuits():
+    """The two pinned snapshot circuits: one QUEKO, one QASMBench."""
+    queko = generate_queko_circuit(
+        grid_topology(4, 4), depth=8, seed=11, name="golden-queko-4x4-d8"
+    ).circuit
+    qft = qft_circuit(8)
+    return {
+        "queko-4x4-d8": queko,
+        "qasmbench-qft8": qft,
+    }
+
+
+def golden_backend():
+    """The pinned snapshot device (5x5 grid; every circuit fits)."""
+    return grid_topology(5, 5)
+
+
+def _sequence_hash(items) -> str:
+    digest = hashlib.sha256()
+    for item in items:
+        digest.update(repr(item).encode())
+    return digest.hexdigest()
+
+
+def route_snapshot(circuit, router: str) -> dict:
+    """Route ``circuit`` with ``router`` and summarise the routed output."""
+    result = api_compile(
+        CompileRequest(
+            circuit=circuit,
+            backend=golden_backend(),
+            router=router,
+            seed=GOLDEN_SEED,
+        )
+    )
+    routed = result.routed_circuit
+    swaps = [gate.qubits for gate in routed if gate.name == "swap"]
+    return {
+        "swap_hash": _sequence_hash(swaps),
+        "gates_hash": _sequence_hash(
+            (g.name, g.qubits, g.params) for g in routed
+        ),
+        "depth": result.routed_depth,
+        "swaps": len(swaps),
+    }
+
+
+def build_golden_record(circuit_name: str) -> dict:
+    circuit = golden_circuits()[circuit_name]
+    return {
+        "circuit": circuit_name,
+        "backend": "grid-5x5",
+        "seed": GOLDEN_SEED,
+        "routers": {
+            router: route_snapshot(circuit, router)
+            for router in sorted(router_names())
+        },
+    }
+
+
+def load_golden(circuit_name: str) -> dict:
+    path = GOLDEN_DIR / f"{circuit_name}.json"
+    if not path.exists():
+        pytest.fail(
+            f"missing golden snapshot {path}; regenerate with "
+            "`PYTHONPATH=src python tests/routing/test_golden.py --update-golden`"
+        )
+    return json.loads(path.read_text())
+
+
+CIRCUIT_NAMES = sorted(golden_circuits())
+
+
+@pytest.mark.parametrize("circuit_name", CIRCUIT_NAMES)
+def test_snapshot_covers_every_registered_router(circuit_name):
+    """Adding (or renaming) a router must come with a snapshot regen."""
+    golden = load_golden(circuit_name)
+    assert sorted(golden["routers"]) == sorted(router_names())
+
+
+@pytest.mark.parametrize("circuit_name", CIRCUIT_NAMES)
+@pytest.mark.parametrize("router", sorted(router_names()))
+def test_routed_output_matches_golden(circuit_name, router):
+    golden = load_golden(circuit_name)["routers"].get(router)
+    if golden is None:
+        pytest.fail(f"router {router!r} missing from golden {circuit_name}")
+    snapshot = route_snapshot(golden_circuits()[circuit_name], router)
+    assert snapshot == golden, (
+        f"{router} routed output diverged from the golden snapshot on "
+        f"{circuit_name}: {snapshot} != {golden}.  If this change is an "
+        "intentional behaviour change, regenerate with --update-golden "
+        "(see the module docstring); a performance-only change must not "
+        "get here."
+    )
+
+
+def update_golden() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for circuit_name in CIRCUIT_NAMES:
+        record = build_golden_record(circuit_name)
+        path = GOLDEN_DIR / f"{circuit_name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--update-golden" in sys.argv:
+        update_golden()
+    else:
+        print(__doc__)
+        sys.exit("pass --update-golden to regenerate the snapshots")
