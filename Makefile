@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-golden bench check
+.PHONY: test test-fast test-golden test-cache bench check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
@@ -17,6 +17,14 @@ test-fast:
 test-golden:
 	$(PYTHON) -m pytest tests/routing/test_golden.py -q
 
+## Compile-cache battery: serialization round-trip exactness (golden-hash
+## oracle), fingerprint sensitivity, warm-vs-cold bit-for-bit determinism and
+## bad-disk-entry robustness.  Fast (~5 s); runs in `make check` right after
+## the golden snapshots, before the slow suite.
+test-cache:
+	$(PYTHON) -m pytest tests/api/test_serialize.py tests/api/test_fingerprint.py \
+		tests/api/test_cache.py tests/analysis/test_perf_trajectory.py -q
+
 ## Routing perf smoke: routes a pinned QUEKO workload with every router and
 ## writes BENCH_routing.json, the machine-readable perf trajectory.
 ## Add `--compare BENCH_routing.json` (before overwriting) to fail on any
@@ -25,12 +33,17 @@ bench:
 	$(PYTHON) benchmarks/perf_smoke.py
 
 ## Pre-commit gate: golden determinism snapshots first (a routed-output
-## regression fails in seconds, before the slow suite), then tier-1 tests,
-## then a CLI smoke of the public surface (`repro-map map` routes through
-## repro.api.compile; `bench --quick` drives the compile_many batch driver
-## on a reduced fixture).
-check: test-golden test
+## regression fails in seconds, before the slow suite), then the compile-cache
+## battery, then tier-1 tests, then a CLI smoke of the public surface
+## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
+## the compile_many batch driver on a reduced fixture, run twice against one
+## --cache-dir so the second run exercises warm disk hits end to end).
+check: test-golden test-cache test
 	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
 	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
-	$(PYTHON) -m repro bench --quick --workers 2 --output $(or $(TMPDIR),/tmp)/BENCH_quick.json
+	rm -rf $(or $(TMPDIR),/tmp)/repro-cache-check
+	$(PYTHON) -m repro bench --quick --workers 2 --cache-dir $(or $(TMPDIR),/tmp)/repro-cache-check --output $(or $(TMPDIR),/tmp)/BENCH_quick.json
+	$(PYTHON) benchmarks/perf_smoke.py --quick --workers 2 --cache-dir $(or $(TMPDIR),/tmp)/repro-cache-check --output $(or $(TMPDIR),/tmp)/BENCH_quick_warm.json --compare $(or $(TMPDIR),/tmp)/BENCH_quick.json
+	$(PYTHON) -m repro cache info --cache-dir $(or $(TMPDIR),/tmp)/repro-cache-check
+	$(PYTHON) -m repro cache clear --cache-dir $(or $(TMPDIR),/tmp)/repro-cache-check
 	@echo "make check: OK"

@@ -11,12 +11,19 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_smoke.py [--output PATH] [--rounds N]
                                                    [--workers N] [--quick]
                                                    [--compare BASELINE]
+                                                   [--no-cache] [--cache-dir DIR]
 
 or equivalently ``make bench`` / ``repro-map bench``.  ``--compare`` turns
 the run into a determinism gate: per-router ``mean_swaps``/``mean_depth``
 are checked against an earlier trajectory record (routing is bit-for-bit
 deterministic, so a perf-only change must leave them untouched) and any
-drift exits non-zero.
+drift exits non-zero.  The record carries cache hit/miss counters; the
+compile cache is consulted only when ``--cache-dir`` names a persistent
+store (requests within one run are all distinct, so an in-memory cache
+could never hit) -- a re-run against the same directory then answers from
+it, and ``--no-cache`` forbids even that.  The counters are informational
+and never gate the ``--compare`` check -- hit rates move without the routed
+bits changing.
 """
 
 from __future__ import annotations
@@ -61,11 +68,21 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when per-router mean swaps/depth diverge from this "
         "earlier trajectory record (determinism gate for perf changes)",
     )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="allow the compile cache (only consulted when --cache-dir is given)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="persist cache entries in this directory (a re-run then hits)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if not args.cache and args.cache_dir is not None:
+        parser.error("--no-cache and --cache-dir are mutually exclusive")
     baseline = None
     if args.compare is not None:
         try:
@@ -73,7 +90,12 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ValueError) as exc:
             parser.error(f"--compare: cannot read baseline {args.compare}: {exc}")
     record = write_perf_smoke(
-        args.output, rounds=args.rounds, workers=args.workers, quick=args.quick
+        args.output,
+        rounds=args.rounds,
+        workers=args.workers,
+        quick=args.quick,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
     )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")

@@ -76,15 +76,41 @@ def smoke_requests(
     ]
 
 
-def run_perf_smoke(rounds: int = 1, workers: int = 1, quick: bool = False) -> dict:
-    """Route the pinned fixture with every router; return the trajectory record."""
+def run_perf_smoke(
+    rounds: int = 1,
+    workers: int = 1,
+    quick: bool = False,
+    cache: bool = True,
+    cache_dir=None,
+) -> dict:
+    """Route the pinned fixture with every router; return the trajectory record.
+
+    The compile cache is consulted only when ``cache_dir`` names a
+    persistent store (a *private* disk-backed
+    :class:`~repro.api.cache.CompileCache`, so the process default cache is
+    never polluted by benchmark traffic): requests within one run are all
+    distinct, so a fresh in-memory cache could never hit and would only tax
+    the measurement with serialization.  A re-run against the same
+    ``cache_dir`` answers from the store, replaying the pass timings
+    recorded when the entries were written -- ``mean_seconds`` stays a
+    routing-time trajectory either way.  The ``cache`` section of the record
+    is informational and is ignored by the :func:`quality_regressions`
+    drift gate.
+    """
     if rounds < 1:
         raise ValueError("rounds must be at least 1")
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    if not cache and cache_dir is not None:
+        raise ValueError("cache_dir has no effect with caching disabled")
+    from repro.api.cache import CompileCache
+
+    cache_store = (
+        CompileCache(directory=cache_dir) if (cache and cache_dir is not None) else None
+    )
     backend = sherbrooke()
     requests = smoke_requests(backend, rounds=rounds, quick=quick)
-    batch = compile_many(requests, workers=workers)
+    batch = compile_many(requests, workers=workers, cache=cache_store)
     record: dict = {
         "benchmark": "routing-perf-smoke",
         "backend": backend.name,
@@ -99,6 +125,14 @@ def run_perf_smoke(rounds: int = 1, workers: int = 1, quick: bool = False) -> di
         "python": platform.python_version(),
         "workers": batch.workers,
         "wall_seconds": round(batch.wall_seconds, 4),
+        # Informational only -- quality_regressions must never gate on cache
+        # behaviour (hit rates move without the routed bits changing).
+        "cache": {
+            "enabled": cache_store is not None,
+            "dir": str(cache_dir) if cache_dir is not None else None,
+            "hits": batch.cache_hits,
+            "misses": batch.cache_misses,
+        },
         "routers": batch.per_router(),
     }
     return record
@@ -109,9 +143,13 @@ def write_perf_smoke(
     rounds: int = 1,
     workers: int = 1,
     quick: bool = False,
+    cache: bool = True,
+    cache_dir=None,
 ) -> dict:
     """Run the smoke workload and write the JSON trajectory record."""
-    record = run_perf_smoke(rounds=rounds, workers=workers, quick=quick)
+    record = run_perf_smoke(
+        rounds=rounds, workers=workers, quick=quick, cache=cache, cache_dir=cache_dir
+    )
     path = Path(output)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record
@@ -126,9 +164,15 @@ def render_trajectory(record: dict) -> str:
             f"{stats['mean_seconds']:9.4f} {stats['mean_cost_evaluations']:10.1f}"
         )
     total_runs = sum(stats["runs"] for stats in record["routers"].values())
+    cache = record.get("cache", {})
+    cache_note = (
+        f"cache {cache['hits']} hit(s) / {cache['misses']} miss(es)"
+        if cache.get("enabled")
+        else "cache off"
+    )
     lines.append(
         f"\nbatch: {total_runs} runs, {record['workers']} worker(s), "
-        f"wall {record['wall_seconds']:.2f}s"
+        f"wall {record['wall_seconds']:.2f}s, {cache_note}"
     )
     if record["workers"] > 1:
         lines.append(
@@ -144,9 +188,12 @@ def quality_regressions(record: dict, baseline: dict) -> list[str]:
 
     Routing is bit-for-bit deterministic per seed, so for a performance-only
     change ``mean_swaps`` and ``mean_depth`` must match the baseline exactly
-    for every router the two records share; ``mean_seconds`` and cost
-    evaluation counts are allowed to move.  Returns one human-readable line
-    per divergence (empty list = no quality change).
+    for every router the two records share; ``mean_seconds``, cost evaluation
+    counts and the cache-timing fields (the top-level ``cache`` section:
+    enabled flag, hit/miss counters) are allowed to move -- cache hit rates
+    change run to run without the routed bits changing, so they must never
+    trip this gate.  Returns one human-readable line per divergence (empty
+    list = no quality change).
     """
     problems: list[str] = []
     if record.get("fixture") != baseline.get("fixture"):

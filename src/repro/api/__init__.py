@@ -21,9 +21,13 @@ Contents:
 * :func:`~repro.api.pipeline.compile` -- the explicit pass pipeline
   (load -> place -> route -> validate -> metrics) with per-pass timing,
 * :func:`~repro.api.batch.compile_many` -- the deterministic multi-process
-  batch driver,
+  batch driver (cache-aware: hits are partitioned out before fan-out),
 * :mod:`~repro.api.registry` -- the declarative ``@register_router``
-  registry all routers announce themselves to.
+  registry all routers announce themselves to,
+* :mod:`~repro.api.cache` -- the content-addressed compile cache
+  (:func:`request_fingerprint` + :class:`CompileCache`, in-memory LRU by
+  default, on-disk JSON store opt-in) backed by the
+  :mod:`~repro.api.serialize` payload round-trip.
 
 Routed outputs are bit-for-bit reproducible: one request, one circuit,
 independent of worker count or scheduling.
@@ -46,10 +50,25 @@ from repro.api.pipeline import (
     PASS_ORDER,
     CompileError,
     compile,
+    compile_uncached,
     load_circuit,
     resolve_backend,
 )
 from repro.api.batch import compile_many, compile_sweep, default_workers
+from repro.api.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
+    CompileCache,
+    default_cache,
+    request_fingerprint,
+    set_default_cache,
+)
+from repro.api.serialize import (
+    PAYLOAD_VERSION,
+    SerializationError,
+    result_from_payload,
+    result_to_payload,
+)
 
 __all__ = [
     "CompileRequest",
@@ -58,9 +77,20 @@ __all__ = [
     "CompileError",
     "PASS_ORDER",
     "compile",
+    "compile_uncached",
     "compile_many",
     "compile_sweep",
     "default_workers",
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "CompileCache",
+    "default_cache",
+    "request_fingerprint",
+    "set_default_cache",
+    "PAYLOAD_VERSION",
+    "SerializationError",
+    "result_from_payload",
+    "result_to_payload",
     "load_circuit",
     "resolve_backend",
     "sweep_requests",

@@ -7,6 +7,14 @@ request carries its own seed and routing has no cross-request state; the
 driver only changes *where* each request runs, never *what* it computes.
 Result order always matches request order regardless of worker scheduling.
 
+The driver is cache-aware: requests are fingerprinted up front and partitioned
+into hits and misses against the content-addressed cache
+(:mod:`repro.api.cache`), only the misses fan out across workers, and the
+miss results are stored back in the parent process (worker processes never
+own a cache, so nothing is populated into fork-copied stores that die with
+the pool).  Hits slot back into their original positions, so a warm-cache
+batch is positionally and bit-for-bit identical to a cold serial run.
+
 Processes (not threads) are used because routing is pure-Python CPU work;
 the pool uses the ``fork`` start method where available so workers inherit
 the warm interpreter instead of re-importing the package.
@@ -20,7 +28,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
-from repro.api.pipeline import compile as _compile
+from repro.api.pipeline import compile_uncached as _compile
 from repro.api.request import CompileRequest
 from repro.api.result import BatchResult, CompileResult
 
@@ -39,6 +47,7 @@ def compile_many(
     requests: Iterable[CompileRequest],
     workers: int = 1,
     chunksize: int | None = None,
+    cache=True,
 ) -> BatchResult:
     """Compile every request, fanning out across ``workers`` processes.
 
@@ -49,26 +58,71 @@ def compile_many(
     serialised.  Per-request seeding is deterministic -- each request's seed
     is fixed before scheduling -- so the routed circuits are identical for
     every worker count.
+
+    ``cache`` is ``True`` (the process default cache), ``False`` / ``None``
+    (compile everything) or an explicit
+    :class:`~repro.api.cache.CompileCache`; cache hits are filled in the
+    parent process and only the misses are scheduled.
     """
+    from repro.api.cache import request_fingerprint, resolve_cache
+
     workers = int(workers)
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
     requests = list(requests)
+    cache_store = resolve_cache(cache)
     start = time.perf_counter()
+
+    results: list[CompileResult | None] = [None] * len(requests)
+    misses: list[int] = []
+    fingerprints: list[str | None] = [None] * len(requests)
+    if cache_store is None:
+        misses = list(range(len(requests)))
+    else:
+        for index, request in enumerate(requests):
+            fingerprint = request_fingerprint(request)
+            fingerprints[index] = fingerprint
+            hit = cache_store.lookup(fingerprint, request)
+            if hit is None:
+                misses.append(index)
+            else:
+                results[index] = hit
+
+    # ``workers`` semantics are independent of the hit rate: the reported
+    # count is the scheduling capacity (clamped to the request count), while
+    # the pool itself is sized by the actual miss load.
     effective = min(workers, len(requests) or 1)
-    if effective == 1:
-        results = [_compile(request) for request in requests]
+    pool_size = min(workers, len(misses) or 1)
+
+    # Results are stored as they arrive (pool.map yields in request order),
+    # so a failing request late in the batch still leaves every already
+    # completed sibling cached for the retry.
+    def _collect(index: int, result: CompileResult) -> None:
+        results[index] = result
+        if cache_store is not None:
+            cache_store.store(fingerprints[index], result)
+
+    if pool_size == 1:
+        for index in misses:
+            _collect(index, _compile(requests[index]))
     else:
         if chunksize is None:
-            chunksize = max(1, len(requests) // (effective * 4))
+            chunksize = max(1, len(misses) // (pool_size * 4))
+        miss_requests = [requests[index] for index in misses]
         with ProcessPoolExecutor(
-            max_workers=effective, mp_context=_mp_context()
+            max_workers=pool_size, mp_context=_mp_context()
         ) as pool:
-            results = list(pool.map(_compile, requests, chunksize=chunksize))
+            for index, result in zip(
+                misses, pool.map(_compile, miss_requests, chunksize=chunksize)
+            ):
+                _collect(index, result)
+
     return BatchResult(
         results=results,
         workers=effective,
         wall_seconds=time.perf_counter() - start,
+        cache_hits=len(requests) - len(misses),
+        cache_misses=len(misses),
     )
 
 
@@ -79,6 +133,7 @@ def compile_sweep(
     seeds=None,
     circuits=None,
     workers: int = 1,
+    cache=True,
 ) -> BatchResult:
     """Expand ``base`` with :func:`repro.api.request.sweep_requests` and compile it."""
     from repro.api.request import sweep_requests
@@ -86,6 +141,7 @@ def compile_sweep(
     return compile_many(
         sweep_requests(base, routers=routers, seeds=seeds, circuits=circuits),
         workers=workers,
+        cache=cache,
     )
 
 

@@ -1,0 +1,468 @@
+"""Content-addressed compile cache: fingerprinted requests, two-tier store.
+
+Routing in this repository is bit-for-bit deterministic per request (the
+PR 1-3 invariant, enforced by the golden harness), so a
+:class:`~repro.api.result.CompileResult` is a pure function of its
+:class:`~repro.api.request.CompileRequest`.  That makes compile results
+content-addressable: :func:`request_fingerprint` reduces a request to a
+canonical SHA-256 digest -- router aliases resolved to canonical registry
+names, circuit sources hashed by *content* (gate stream, QASM file bytes or
+generator spec), backends digested by coupling-graph content so a backend
+name and its resolved graph fingerprint identically, configs digested field
+by field -- and :class:`CompileCache` keys a two-tier store on it:
+
+* an in-process LRU of payloads (fast, per-process, on by default), and
+* an optional on-disk JSON store (one ``<fingerprint>.json`` per entry,
+  atomic writes, schema/version stamped) shared across processes and runs.
+
+Both tiers store the *serialized* payload (:mod:`repro.api.serialize`) and
+rehydrate on every hit, so a cached result is always a fresh object built
+through the same round-trip the test battery pins as exact.  Corrupted,
+truncated or version-mismatched disk entries are logged and treated as
+misses -- the cache never raises on bad persisted state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro.api.request import CompileRequest
+from repro.api.result import CompileResult
+from repro.api.serialize import (
+    PAYLOAD_VERSION,
+    SerializationError,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.hardware.coupling import CouplingGraph
+
+logger = logging.getLogger(__name__)
+
+#: Version stamp of the on-disk entry envelope *and* the fingerprint layout.
+#: Bump on any change to either; older entries then miss instead of
+#: deserializing into garbage.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable enabling the disk tier of the process default cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default capacity of the in-process LRU tier.
+DEFAULT_MEMORY_ENTRIES = 256
+
+
+# ---------------------------------------------------------------------------
+# Request fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _jsonify(value) -> Any:
+    """Reduce an arbitrary option value to a canonical JSON-safe form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                f.name: _jsonify(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in sorted(value.items(), key=lambda i: str(i[0]))}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonify(v) for v in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=_canonical_json)
+        return items
+    # Arbitrary objects: key on their attribute contents where possible --
+    # the default object repr embeds a memory address, which would make the
+    # fingerprint identity-dependent (every process would miss on disk).
+    attributes = getattr(value, "__dict__", None)
+    if isinstance(attributes, dict):
+        return {"__object__": type(value).__name__, "fields": _jsonify(attributes)}
+    return {"__repr__": f"{type(value).__name__}:{value!r}"}
+
+
+def _circuit_token(circuit) -> dict:
+    # The gate-stream hash is memoized on the circuit object: sweeps reuse
+    # one circuit across many requests, and rehashing O(gates) per request
+    # in the single-threaded parent would dominate small batches.  Gates are
+    # immutable and the list is append-only, so the gate count is a sound
+    # invalidation guard.
+    memo = getattr(circuit, "_repro_gate_digest", None)
+    if memo is not None and memo[0] == len(circuit):
+        gates_digest = memo[1]
+    else:
+        digest = hashlib.sha256()
+        digest.update(str(circuit.num_qubits).encode())
+        for gate in circuit:
+            digest.update(
+                repr((gate.name, gate.qubits, gate.params, gate.label)).encode()
+            )
+        gates_digest = digest.hexdigest()
+        try:
+            circuit._repro_gate_digest = (len(circuit), gates_digest)
+        except AttributeError:
+            pass  # slotted or frozen circuit types just skip the memo
+    return {
+        "kind": "circuit",
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "gates": gates_digest,
+    }
+
+
+def _qasm_token(path) -> dict:
+    path = Path(path)
+    try:
+        content = hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        # The compile pass will fail with its own one-line message; key the
+        # (never stored) fingerprint on the path so fingerprinting never raises.
+        return {"kind": "qasm", "stem": path.stem, "path": str(path)}
+    # Content-addressed: the same file moved elsewhere (same stem, and thus
+    # the same metrics record) hits the same entry.
+    return {"kind": "qasm", "stem": path.stem, "content": content}
+
+
+_backend_digests: dict[str, str] = {}
+
+
+def _graph_digest(graph: CouplingGraph) -> str:
+    record = {
+        "name": graph.name,
+        "num_qubits": graph.num_qubits,
+        "edges": sorted(tuple(sorted(edge)) for edge in graph.edges()),
+    }
+    return _sha256(_canonical_json(record))
+
+
+def _backend_token(backend) -> dict:
+    if isinstance(backend, CouplingGraph):
+        return {"kind": "graph", "digest": _graph_digest(backend)}
+    name = str(backend).strip().lower()
+    digest = _backend_digests.get(name)
+    if digest is None:
+        from repro.hardware.backends import backend_by_name
+
+        try:
+            digest = _graph_digest(backend_by_name(name))
+        except KeyError:
+            # Unknown backend: compile will fail; fingerprint on the name.
+            return {"kind": "name", "name": name}
+        _backend_digests[name] = digest
+    # A backend *name* and the graph it resolves to fingerprint identically.
+    return {"kind": "graph", "digest": digest}
+
+
+def _router_token(name: str) -> str:
+    from repro.api.registry import UnknownRouterError, resolve_router
+
+    try:
+        return resolve_router(name).name
+    except UnknownRouterError:
+        # Unknown router: compile will fail before anything is stored.
+        return str(name).strip().lower()
+
+
+def request_fingerprint(request: CompileRequest) -> str:
+    """The canonical SHA-256 fingerprint of a compile request.
+
+    Every request field is normalized into the digest: equal requests --
+    including alias vs canonical router names, backend names vs their
+    resolved coupling graphs, and equal-content circuits or QASM files --
+    produce equal fingerprints, and any output-affecting mutation changes it.
+    """
+    record = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "payload": PAYLOAD_VERSION,
+        "source": (
+            _circuit_token(request.circuit)
+            if request.circuit is not None
+            else _qasm_token(request.qasm)
+            if request.qasm is not None
+            else {"kind": "generate", "spec": str(request.generate).strip()}
+        ),
+        "backend": _backend_token(request.backend),
+        "router": _router_token(request.router),
+        "seed": int(request.seed),
+        "placement": request.placement,
+        "placement_options": _jsonify(request.placement_options),
+        "router_config": _jsonify(request.router_config),
+        "validation": request.validation,
+        "label": request.label,
+    }
+    return _sha256(_canonical_json(record))
+
+
+# ---------------------------------------------------------------------------
+# The two-tier store
+# ---------------------------------------------------------------------------
+
+
+class CompileCache:
+    """Content-addressed store of compile results, keyed by fingerprint.
+
+    Args:
+        max_memory_entries: capacity of the in-process LRU tier (0 disables
+            the memory tier entirely).
+        directory: directory of the on-disk tier; ``None`` (the default)
+            keeps the cache memory-only.
+    """
+
+    def __init__(
+        self,
+        max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        directory: str | Path | None = None,
+    ):
+        if max_memory_entries < 0:
+            raise ValueError("max_memory_entries must be non-negative")
+        self.max_memory_entries = int(max_memory_entries)
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self.stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+
+    # -- lookups -------------------------------------------------------------
+
+    def lookup(self, fingerprint: str, request: CompileRequest) -> CompileResult | None:
+        """The cached result for ``fingerprint``, or ``None`` on a miss.
+
+        Hits rehydrate the stored payload into a fresh :class:`CompileResult`
+        carrying the caller's ``request``.  Any undecodable entry (corrupt
+        JSON, truncated file, schema or payload version mismatch) is logged
+        and counted as a miss; this method never raises on bad cache state.
+        """
+        payload = self._memory_get(fingerprint)
+        tier = "memory"
+        if payload is None and self.directory is not None:
+            payload = self._disk_get(fingerprint)
+            tier = "disk"
+        if payload is not None:
+            try:
+                result = result_from_payload(payload, request)
+            except SerializationError as exc:
+                logger.warning("cache entry %s undecodable (%s); treating as miss",
+                               fingerprint[:12], exc)
+                self._memory.pop(fingerprint, None)
+            else:
+                self.stats[f"{tier}_hits"] += 1
+                if tier == "disk":
+                    self._memory_put(fingerprint, payload)
+                return result
+        self.stats["misses"] += 1
+        return None
+
+    def get(self, request: CompileRequest) -> CompileResult | None:
+        """Fingerprint ``request`` and look it up."""
+        return self.lookup(request_fingerprint(request), request)
+
+    # -- stores --------------------------------------------------------------
+
+    def store(self, fingerprint: str, result: CompileResult) -> None:
+        """Serialize ``result`` and store it under ``fingerprint`` in every tier."""
+        payload = result_to_payload(result)
+        self._memory_put(fingerprint, payload)
+        if self.directory is not None:
+            self._disk_put(fingerprint, payload)
+        self.stats["stores"] += 1
+
+    def put(self, result: CompileResult) -> str:
+        """Store ``result`` under its own request fingerprint."""
+        fingerprint = request_fingerprint(result.request)
+        self.store(fingerprint, result)
+        return fingerprint
+
+    # -- memory tier ---------------------------------------------------------
+
+    def _memory_get(self, fingerprint: str) -> dict | None:
+        payload = self._memory.get(fingerprint)
+        if payload is not None:
+            self._memory.move_to_end(fingerprint)
+        return payload
+
+    def _memory_put(self, fingerprint: str, payload: dict) -> None:
+        if self.max_memory_entries == 0:
+            return
+        self._memory[fingerprint] = payload
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _entry_path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def _disk_get(self, fingerprint: str) -> dict | None:
+        path = self._entry_path(fingerprint)
+        try:
+            envelope = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            logger.warning("cache entry %s unreadable (%s); treating as miss",
+                           path.name, exc)
+            return None
+        if not isinstance(envelope, dict):
+            logger.warning("cache entry %s malformed (not an object); treating as miss",
+                           path.name)
+            return None
+        if envelope.get("schema") != CACHE_SCHEMA_VERSION:
+            logger.warning(
+                "cache entry %s has schema %r != %r; treating as miss",
+                path.name, envelope.get("schema"), CACHE_SCHEMA_VERSION,
+            )
+            return None
+        if envelope.get("fingerprint") != fingerprint:
+            logger.warning("cache entry %s fingerprint mismatch; treating as miss",
+                           path.name)
+            return None
+        payload = envelope.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def _disk_put(self, fingerprint: str, payload: dict) -> None:
+        envelope = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: write to a sibling temp file, then rename over
+            # the final path so readers never observe a truncated entry.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(envelope, handle, sort_keys=True)
+                os.replace(tmp_name, self._entry_path(fingerprint))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            logger.warning("cannot persist cache entry %s (%s); memory tier only",
+                           fingerprint[:12], exc)
+
+    def _disk_entries(self) -> list[Path]:
+        if self.directory is None or not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.glob("*.json") if not p.name.startswith(".tmp-")
+        )
+
+    # -- introspection / maintenance -----------------------------------------
+
+    def info(self) -> dict:
+        """Flat introspection record (used by ``repro-map cache info``)."""
+        # The directory may be shared with concurrently clearing processes:
+        # an entry unlinked between glob and stat is skipped, never raised.
+        disk_entries = 0
+        disk_bytes = 0
+        for path in self._disk_entries():
+            try:
+                disk_bytes += path.stat().st_size
+            except OSError:
+                continue
+            disk_entries += 1
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "memory_entries": len(self._memory),
+            "max_memory_entries": self.max_memory_entries,
+            "disk_dir": str(self.directory) if self.directory is not None else None,
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "stats": dict(self.stats),
+        }
+
+    def clear(self) -> dict:
+        """Drop every entry in both tiers; return per-tier removal counts."""
+        removed = {"memory_entries": len(self._memory), "disk_entries": 0}
+        self._memory.clear()
+        for path in self._disk_entries():
+            try:
+                path.unlink()
+            except OSError as exc:
+                logger.warning("cannot remove cache entry %s (%s)", path.name, exc)
+            else:
+                removed["disk_entries"] += 1
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        tier = f", dir={str(self.directory)!r}" if self.directory is not None else ""
+        return (
+            f"CompileCache(memory={len(self._memory)}/{self.max_memory_entries}"
+            f"{tier}, stats={self.stats})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The process default cache
+# ---------------------------------------------------------------------------
+
+_default_cache: CompileCache | None = None
+
+
+def default_cache() -> CompileCache:
+    """The lazily-created process-wide cache :func:`repro.api.compile` uses.
+
+    Memory-only unless the ``REPRO_CACHE_DIR`` environment variable names a
+    directory at first use (disk persistence stays opt-in).
+    """
+    global _default_cache
+    if _default_cache is None:
+        directory = os.environ.get(CACHE_DIR_ENV) or None
+        _default_cache = CompileCache(directory=directory)
+    return _default_cache
+
+
+def set_default_cache(cache: CompileCache | None) -> CompileCache | None:
+    """Replace the process default cache (``None`` resets to lazy creation).
+
+    Returns the previous default (primarily so tests can restore it).
+    """
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def resolve_cache(cache: CompileCache | bool | None) -> CompileCache | None:
+    """Normalize the ``cache=`` argument of the compile entry points.
+
+    ``True`` selects the process default cache, ``False``/``None`` disables
+    caching, and a :class:`CompileCache` instance is used as-is.
+    """
+    if cache is True:
+        return default_cache()
+    if cache is False or cache is None:
+        return None
+    if isinstance(cache, CompileCache):
+        return cache
+    raise TypeError(
+        f"cache must be a CompileCache, True, False or None, got {type(cache).__name__}"
+    )

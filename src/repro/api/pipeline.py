@@ -19,6 +19,15 @@ Pass responsibilities:
   circuit,
 * ``metrics``   derive the flat quality-metric record the evaluation tables
   consume.
+
+Because a routed circuit is a pure function of the request, :func:`compile`
+consults the content-addressed cache (:mod:`repro.api.cache`) before running
+the pass sequence: by default an in-process LRU keyed on the request
+fingerprint (disk persistence is opt-in via a cache with a ``directory`` or
+the ``REPRO_CACHE_DIR`` environment variable), bypassable per call with
+``cache=False``.  A hit rehydrates the stored payload -- bit-for-bit
+identical to a fresh run -- with the original pass timings, so cached
+results never distort a timing trajectory with near-zero replay times.
 """
 
 from __future__ import annotations
@@ -93,8 +102,32 @@ def resolve_backend(backend: str | CouplingGraph) -> CouplingGraph:
         raise CompileError(exc.args[0] if exc.args else str(exc)) from exc
 
 
-def compile(request: CompileRequest) -> CompileResult:  # noqa: A001 - deliberate name
-    """Run the full pass pipeline for one request."""
+def compile(  # noqa: A001 - deliberate name
+    request: CompileRequest,
+    cache: "CompileCache | bool | None" = True,
+) -> CompileResult:
+    """Run the full pass pipeline for one request (cache-aware).
+
+    ``cache`` is ``True`` (the process default in-memory cache), ``False`` /
+    ``None`` (always recompute) or an explicit
+    :class:`~repro.api.cache.CompileCache`.
+    """
+    from repro.api.cache import request_fingerprint, resolve_cache
+
+    cache_store = resolve_cache(cache)
+    if cache_store is None:
+        return compile_uncached(request)
+    fingerprint = request_fingerprint(request)
+    hit = cache_store.lookup(fingerprint, request)
+    if hit is not None:
+        return hit
+    result = compile_uncached(request)
+    cache_store.store(fingerprint, result)
+    return result
+
+
+def compile_uncached(request: CompileRequest) -> CompileResult:
+    """Run the full pass pipeline for one request, bypassing every cache."""
     try:
         request.check()
     except ValueError as exc:

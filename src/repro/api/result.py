@@ -85,6 +85,10 @@ class BatchResult:
     results: list[CompileResult]
     workers: int
     wall_seconds: float
+    #: Requests answered from the compile cache vs computed fresh (with
+    #: caching disabled every request counts as a miss).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -132,5 +136,6 @@ class BatchResult:
             "wall_seconds": round(self.wall_seconds, 4),
             "total_route_seconds": round(self.total_route_seconds, 4),
             "speedup": round(self.speedup, 2),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "routers": self.per_router(),
         }

@@ -1,0 +1,144 @@
+"""Serialization of compile results to JSON-safe payloads and back.
+
+The content-addressed cache (:mod:`repro.api.cache`) persists
+:class:`~repro.api.result.CompileResult` objects across processes, so the
+routed circuit and its bookkeeping need a faithful wire format.  Circuits
+travel as OpenQASM 2.0 text through the existing writer/loader pair --
+:func:`repro.qasm.writer.circuit_to_qasm` emits ``repr``-exact float
+parameters and :func:`repro.qasm.loader.circuit_from_qasm` parses them back
+losslessly -- so a payload round-trip reproduces the routed gate sequence
+bit for bit (the invariant the golden harness enforces; see
+``tests/api/test_serialize.py``).
+
+The request itself is *not* serialized: payloads are only ever addressed by
+the request fingerprint (:func:`repro.api.cache.request_fingerprint`), and a
+cache hit re-attaches the caller's live request object.  That keeps device
+coupling graphs and in-memory circuits out of the payload entirely.
+"""
+
+from __future__ import annotations
+
+from repro.api.result import CompileResult
+from repro.circuit.circuit import QuantumCircuit
+from repro.qasm.loader import circuit_from_qasm
+from repro.qasm.writer import circuit_to_qasm
+from repro.routing.result import RoutingResult
+
+#: Version stamp of the payload layout.  Bump on any shape change; the cache
+#: treats entries with a different stamp as misses instead of deserializing.
+PAYLOAD_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a payload cannot be rebuilt into a result."""
+
+
+def circuit_to_payload(circuit: QuantumCircuit) -> dict:
+    """Encode a circuit as a JSON-safe payload (QASM text + identity)."""
+    return {
+        "name": circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "qasm": circuit_to_qasm(circuit),
+    }
+
+
+def circuit_from_payload(payload: dict) -> QuantumCircuit:
+    """Rebuild a circuit from :func:`circuit_to_payload` output.
+
+    Measurements are preserved and multi-qubit gates are *not* decomposed:
+    the payload holds an already-routed circuit and must come back exactly
+    as emitted.
+    """
+    try:
+        circuit = circuit_from_qasm(
+            payload["qasm"],
+            include_measurements=True,
+            decompose_multiqubit=False,
+            name=payload["name"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid circuit payload: {exc}") from exc
+    if circuit.num_qubits != payload["num_qubits"]:
+        raise SerializationError(
+            f"circuit payload declares {payload['num_qubits']} qubits but its "
+            f"QASM text rebuilds {circuit.num_qubits}"
+        )
+    return circuit
+
+
+def _layout_to_payload(layout: dict) -> dict:
+    # JSON object keys are strings; store them as such and restore ints on read.
+    return {str(logical): int(physical) for logical, physical in layout.items()}
+
+
+def _layout_from_payload(payload: dict) -> dict[int, int]:
+    return {int(logical): int(physical) for logical, physical in payload.items()}
+
+
+def routing_to_payload(routing: RoutingResult) -> dict:
+    """Encode a routing result (routed circuit + layouts + bookkeeping)."""
+    return {
+        "routed_circuit": circuit_to_payload(routing.routed_circuit),
+        "initial_layout": _layout_to_payload(routing.initial_layout),
+        "final_layout": _layout_to_payload(routing.final_layout),
+        "original_depth": routing.original_depth,
+        "mapper_name": routing.mapper_name,
+        "runtime_seconds": routing.runtime_seconds,
+        "cost_evaluations": routing.cost_evaluations,
+        "metadata": dict(routing.metadata),
+    }
+
+
+def routing_from_payload(payload: dict) -> RoutingResult:
+    """Rebuild a routing result from :func:`routing_to_payload` output."""
+    try:
+        return RoutingResult(
+            routed_circuit=circuit_from_payload(payload["routed_circuit"]),
+            initial_layout=_layout_from_payload(payload["initial_layout"]),
+            final_layout=_layout_from_payload(payload["final_layout"]),
+            original_depth=int(payload["original_depth"]),
+            mapper_name=str(payload["mapper_name"]),
+            runtime_seconds=float(payload["runtime_seconds"]),
+            cost_evaluations=int(payload["cost_evaluations"]),
+            metadata=dict(payload["metadata"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError(f"invalid routing payload: {exc}") from exc
+
+
+def result_to_payload(result: CompileResult) -> dict:
+    """Encode a compile result (minus its request) as a JSON-safe payload."""
+    return {
+        "version": PAYLOAD_VERSION,
+        "router": result.router,
+        "backend_name": result.backend_name,
+        "circuit_name": result.circuit_name,
+        "pass_timings": dict(result.pass_timings),
+        "metrics": dict(result.metrics),
+        "routing": routing_to_payload(result.routing),
+    }
+
+
+def result_from_payload(payload: dict, request) -> CompileResult:
+    """Rebuild a compile result, re-attaching the caller's live ``request``."""
+    try:
+        version = payload["version"]
+        if version != PAYLOAD_VERSION:
+            raise SerializationError(
+                f"payload version {version!r} != supported {PAYLOAD_VERSION}"
+            )
+        return CompileResult(
+            request=request,
+            routing=routing_from_payload(payload["routing"]),
+            router=str(payload["router"]),
+            backend_name=str(payload["backend_name"]),
+            circuit_name=str(payload["circuit_name"]),
+            pass_timings={k: float(v) for k, v in payload["pass_timings"].items()},
+            metrics=dict(payload["metrics"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError(f"invalid result payload: {exc}") from exc

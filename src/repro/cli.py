@@ -10,20 +10,29 @@ Sub-commands:
 * ``info``      print circuit statistics (qubits, gates, depth, lifted
   macro-gates) without routing,
 * ``bench``     run the routing perf smoke and write ``BENCH_routing.json``
-  (the machine-readable perf trajectory; also ``make bench``).
+  (the machine-readable perf trajectory; also ``make bench``),
+* ``cache``     inspect (``cache info``) or empty (``cache clear``) the
+  content-addressed compile cache.
 
-Every mapping goes through :func:`repro.api.compile`; user errors (unknown
-router or backend, unreadable or invalid QASM) exit with code 2 and a
-one-line message instead of a traceback.
+``map`` consults the compile cache by default (in-memory; ``--cache-dir
+DIR`` adds a persistent on-disk tier shared across runs, ``--no-cache``
+recomputes everything); ``bench`` consults it only when ``--cache-dir`` is
+given, so default benchmark runs always measure real work.  Every mapping
+goes through
+:func:`repro.api.compile`; user errors (unknown router or backend,
+unreadable or invalid QASM) exit with code 2 and a one-line message instead
+of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro.api import (
+    CompileCache,
     CompileError,
     CompileRequest,
     UnknownRouterError,
@@ -34,6 +43,8 @@ from repro.api import (
     router_names,
     router_specs,
 )
+from repro.api.cache import CACHE_DIR_ENV
+
 from repro.circuit.validation import RoutingValidationError
 from repro.hardware.backends import available_backends, backend_by_name
 from repro.qasm.writer import write_qasm_file
@@ -54,6 +65,36 @@ def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--generate",
         help="generate a benchmark circuit instead, e.g. 'qft:24' or 'ghz:16'",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> CompileCache | bool:
+    """The cache selected by ``--cache/--no-cache/--cache-dir``.
+
+    Returns ``False`` (caching disabled), a disk-backed :class:`CompileCache`
+    for an explicit ``--cache-dir``, or ``True`` (the process default cache,
+    in-memory unless ``REPRO_CACHE_DIR`` is set).
+    """
+    if not args.cache:
+        if args.cache_dir is not None:
+            raise CompileError("--no-cache and --cache-dir are mutually exclusive")
+        return False
+    if args.cache_dir is not None:
+        return CompileCache(directory=args.cache_dir)
+    return True
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="consult the content-addressed compile cache (default: on, in-memory)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        help="persist cache entries in this directory (shared across runs)",
     )
 
 
@@ -82,7 +123,8 @@ def _command_map(args: argparse.Namespace) -> int:
         placement_options=placement_options,
         validation="full" if args.verify else "none",
     )
-    result = api_compile(request)
+    cache = _make_cache(args)
+    result = api_compile(request, cache=cache)
     metrics = result.metrics
     print(
         f"circuit      : {metrics['circuit']} "
@@ -93,6 +135,9 @@ def _command_map(args: argparse.Namespace) -> int:
     print(f"swaps added  : {metrics['swaps']}")
     print(f"depth        : {metrics['initial_depth']} -> {metrics['routed_depth']}")
     print(f"mapping time : {result.route_seconds:.3f} s (pipeline {result.total_seconds:.3f} s)")
+    if isinstance(cache, CompileCache):
+        hit = cache.stats["memory_hits"] + cache.stats["disk_hits"] > 0
+        print(f"cache        : {'hit' if hit else 'miss'} ({cache.directory})")
     if args.output:
         write_qasm_file(result.routed_circuit, args.output)
         print(f"routed QASM  : {args.output}")
@@ -168,11 +213,47 @@ def _command_bench(args: argparse.Namespace) -> int:
         raise CompileError("repro-map bench: --rounds must be at least 1")
     if args.workers < 1:
         raise CompileError("repro-map bench: --workers must be at least 1")
+    if not args.cache and args.cache_dir is not None:
+        raise CompileError("--no-cache and --cache-dir are mutually exclusive")
     record = write_perf_smoke(
-        args.output, rounds=args.rounds, workers=args.workers, quick=args.quick
+        args.output,
+        rounds=args.rounds,
+        workers=args.workers,
+        quick=args.quick,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
     )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cache_for_inspection(args: argparse.Namespace) -> CompileCache:
+    """A cache handle on the directory named by ``--cache-dir``/``REPRO_CACHE_DIR``."""
+    directory = args.cache_dir or os.environ.get(CACHE_DIR_ENV) or None
+    return CompileCache(directory=directory)
+
+
+def _command_cache_info(args: argparse.Namespace) -> int:
+    info = _cache_for_inspection(args).info()
+    print(f"schema       : {info['schema']}")
+    if info["disk_dir"] is None:
+        print("disk tier    : disabled (pass --cache-dir or set "
+              f"{CACHE_DIR_ENV} to enable)")
+    else:
+        print(f"disk dir     : {info['disk_dir']}")
+        print(f"disk entries : {info['disk_entries']}")
+        print(f"disk bytes   : {info['disk_bytes']}")
+    return 0
+
+
+def _command_cache_clear(args: argparse.Namespace) -> int:
+    cache = _cache_for_inspection(args)
+    if cache.directory is None:
+        print("disk tier    : disabled; nothing to clear")
+        return 0
+    removed = cache.clear()
+    print(f"removed      : {removed['disk_entries']} entries from {cache.directory}")
     return 0
 
 
@@ -200,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     map_parser.add_argument("--verify", action="store_true", help="validate the routed circuit")
     map_parser.add_argument("--output", type=Path, help="write the routed circuit as QASM")
+    _add_cache_arguments(map_parser)
     map_parser.set_defaults(func=_command_map)
 
     compare_parser = subparsers.add_parser("compare", help="compare all mappers on one circuit")
@@ -235,7 +317,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="reduced fixture for CI smoke runs (not comparable to full runs)",
     )
+    _add_cache_arguments(bench_parser)
     bench_parser.set_defaults(func=_command_bench)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the content-addressed compile cache"
+    )
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_info_parser = cache_subparsers.add_parser(
+        "info", help="print cache schema, location and entry counts"
+    )
+    cache_info_parser.add_argument(
+        "--cache-dir", type=Path, help="cache directory to inspect"
+    )
+    cache_info_parser.set_defaults(func=_command_cache_info)
+    cache_clear_parser = cache_subparsers.add_parser(
+        "clear", help="remove every persisted cache entry"
+    )
+    cache_clear_parser.add_argument(
+        "--cache-dir", type=Path, help="cache directory to clear"
+    )
+    cache_clear_parser.set_defaults(func=_command_cache_clear)
     return parser
 
 

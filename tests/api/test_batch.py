@@ -3,9 +3,11 @@
 import pytest
 
 from repro.api import (
+    CompileCache,
     CompileRequest,
     compile as api_compile,
     compile_many,
+    compile_sweep,
     router_names,
     sweep_requests,
 )
@@ -31,10 +33,18 @@ def batch_requests():
 
 
 class TestDeterminism:
+    """Worker-count independence of the *computation* itself.
+
+    These tests run with ``cache=False``: with the default cache on, the
+    second ``compile_many`` call would be answered entirely from the store
+    and never exercise the process pool (warm-vs-cold equivalence has its
+    own dedicated battery in ``tests/api/test_cache.py``).
+    """
+
     def test_parallel_matches_serial_bit_for_bit(self):
         requests = batch_requests()
-        serial = compile_many(requests, workers=1)
-        parallel = compile_many(requests, workers=4)
+        serial = compile_many(requests, workers=1, cache=False)
+        parallel = compile_many(requests, workers=4, cache=False)
         assert len(serial) == len(parallel) == len(requests)
         for left, right in zip(serial, parallel):
             assert left.router == right.router
@@ -44,9 +54,9 @@ class TestDeterminism:
 
     def test_parallel_matches_individual_compile_calls(self):
         requests = batch_requests()[:6]
-        batch = compile_many(requests, workers=3)
+        batch = compile_many(requests, workers=3, cache=False)
         for request, result in zip(requests, batch):
-            direct = api_compile(request)
+            direct = api_compile(request, cache=False)
             assert gates_of(result.routed_circuit) == gates_of(direct.routed_circuit)
 
     def test_result_order_matches_request_order(self):
@@ -113,9 +123,9 @@ class TestWorkerValidation:
             )
             for s in range(3)
         ]
-        batch = compile_many(requests, workers=64)
+        batch = compile_many(requests, workers=64, cache=False)
         assert batch.workers == len(requests)
-        serial = compile_many(requests, workers=1)
+        serial = compile_many(requests, workers=1, cache=False)
         for left, right in zip(batch, serial):
             assert gates_of(left.routed_circuit) == gates_of(right.routed_circuit)
 
@@ -151,3 +161,47 @@ class TestSweep:
         ] * 3
         with pytest.raises(KeyError):
             compile_many(requests, workers=2)
+
+
+class TestCompileSweep:
+    """Regression coverage for :func:`repro.api.compile_sweep` itself (the
+    expansion helper is tested above; the driver wrapper was untested)."""
+
+    BASE_KWARGS = dict(routers=("sabre", "tket"), seeds=(0, 1, 2))
+
+    def base(self):
+        return CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="greedy")
+
+    def test_sweep_expansion_order_and_request_count(self):
+        batch = compile_sweep(self.base(), **self.BASE_KWARGS, cache=False)
+        assert len(batch) == 6
+        assert [(r.router, r.request.seed) for r in batch] == [
+            ("sabre", 0), ("sabre", 1), ("sabre", 2),
+            ("tket", 0), ("tket", 1), ("tket", 2),
+        ]
+
+    def test_sweep_matches_hand_built_compile_many_input(self):
+        sweep = compile_sweep(self.base(), **self.BASE_KWARGS, cache=False)
+        hand_built = compile_many(
+            sweep_requests(self.base(), **self.BASE_KWARGS), workers=1, cache=False
+        )
+        assert len(sweep) == len(hand_built)
+        for left, right in zip(sweep, hand_built):
+            assert left.request == right.request
+            assert gates_of(left.routed_circuit) == gates_of(right.routed_circuit)
+            assert left.routing.final_layout == right.routing.final_layout
+
+    def test_sweep_over_circuit_list(self):
+        circuits = [ghz_circuit(6), qft_circuit(5)]
+        batch = compile_sweep(
+            self.base(), routers=("greedy",), circuits=circuits, cache=False
+        )
+        assert [r.circuit_name for r in batch] == [c.name for c in circuits]
+
+    def test_sweep_passes_cache_through(self):
+        cache = CompileCache()
+        cold = compile_sweep(self.base(), **self.BASE_KWARGS, cache=cache)
+        warm = compile_sweep(self.base(), **self.BASE_KWARGS, cache=cache)
+        assert cold.cache_misses == 6 and warm.cache_hits == 6
+        for left, right in zip(cold, warm):
+            assert gates_of(left.routed_circuit) == gates_of(right.routed_circuit)

@@ -1,0 +1,275 @@
+"""Determinism and robustness tests for :mod:`repro.api.cache`.
+
+The load-bearing guarantee: a warm-cache :func:`repro.api.compile_many` run
+is bit-for-bit identical to a cold serial run for every worker count, and
+bad persisted state (corrupt, truncated or version-mismatched disk entries)
+degrades to a recompute -- logged, never raised.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CACHE_SCHEMA_VERSION,
+    CompileCache,
+    CompileRequest,
+    compile as api_compile,
+    compile_many,
+    compile_uncached,
+    default_cache,
+    request_fingerprint,
+    set_default_cache,
+)
+from repro.benchgen.qasmbench import ghz_circuit, qft_circuit
+from repro.hardware.topologies import grid_topology
+
+GRID = grid_topology(4, 4)
+
+
+def gates_of(circuit):
+    return [(g.name, g.qubits, g.params) for g in circuit]
+
+
+def bits_of(result):
+    """Everything deterministic about a result (wall-clock timing excluded:
+    two independent *computations* of one request route identical bits but
+    measure different seconds; a cache *replay* additionally preserves the
+    stored timings, which TestWarmCacheDeterminism checks separately)."""
+    metrics = {k: v for k, v in result.metrics.items() if k != "runtime_seconds"}
+    return (
+        gates_of(result.routed_circuit),
+        result.routing.initial_layout,
+        result.routing.final_layout,
+        metrics,
+    )
+
+
+def workload():
+    return [
+        CompileRequest(circuit=circuit, backend=GRID, router=router, seed=seed)
+        for router in ("sabre", "tket", "greedy", "qlosure")
+        for circuit in (ghz_circuit(8), qft_circuit(6))
+        for seed in (0, 2)
+    ]
+
+
+@pytest.fixture
+def fresh_default_cache():
+    """Swap in an empty process default cache and restore the old one after."""
+    previous = set_default_cache(CompileCache())
+    yield default_cache()
+    set_default_cache(previous)
+
+
+class TestWarmCacheDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_warm_batch_is_bit_for_bit_identical_to_cold_serial(self, workers):
+        requests = workload()
+        cold = compile_many(requests, workers=1, cache=False)
+        cache = CompileCache()
+        first = compile_many(requests, workers=workers, cache=cache)
+        warm = compile_many(requests, workers=workers, cache=cache)
+        assert first.cache_misses == len(requests) and first.cache_hits == 0
+        assert warm.cache_hits == len(requests) and warm.cache_misses == 0
+        for cold_result, first_result, warm_result in zip(cold, first, warm):
+            assert bits_of(warm_result) == bits_of(cold_result)
+            assert bits_of(first_result) == bits_of(cold_result)
+            # the replay reproduces the stored run wholesale, timings included
+            assert warm_result.metrics == first_result.metrics
+            assert warm_result.pass_timings == first_result.pass_timings
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_disk_warmed_batch_matches_cold_serial(self, workers, tmp_path):
+        requests = workload()[:6]
+        cold = compile_many(requests, workers=1, cache=False)
+        compile_many(requests, workers=1, cache=CompileCache(directory=tmp_path))
+        # A brand-new cache object: every hit must come from disk.
+        warm_cache = CompileCache(directory=tmp_path)
+        warm = compile_many(requests, workers=workers, cache=warm_cache)
+        assert warm.cache_hits == len(requests)
+        assert warm_cache.stats["disk_hits"] == len(requests)
+        for cold_result, warm_result in zip(cold, warm):
+            assert bits_of(warm_result) == bits_of(cold_result)
+
+    def test_hits_preserve_original_pass_timings(self):
+        request = CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="sabre")
+        cache = CompileCache()
+        first = api_compile(request, cache=cache)
+        replayed = api_compile(request, cache=cache)
+        assert replayed.pass_timings == first.pass_timings
+        assert replayed.route_seconds == first.route_seconds
+
+    def test_compile_uses_the_default_cache_by_default(self, fresh_default_cache):
+        request = CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="greedy")
+        first = api_compile(request)
+        second = api_compile(request)
+        assert fresh_default_cache.stats["memory_hits"] == 1
+        assert bits_of(second) == bits_of(first)
+
+    def test_cache_false_bypasses_the_default_cache(self, fresh_default_cache):
+        request = CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="greedy")
+        api_compile(request, cache=False)
+        api_compile(request, cache=False)
+        assert fresh_default_cache.stats == {
+            "memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
+        }
+
+    def test_invalid_cache_argument_raises_type_error(self):
+        request = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy")
+        with pytest.raises(TypeError, match="cache"):
+            api_compile(request, cache="yes please")
+
+
+class TestBadDiskEntries:
+    """Corrupt persisted state must degrade to a miss, logged, never raised."""
+
+    def _seed_entry(self, tmp_path, request):
+        cache = CompileCache(directory=tmp_path)
+        result = api_compile(request, cache=cache)
+        fingerprint = request_fingerprint(request)
+        path = tmp_path / f"{fingerprint}.json"
+        assert path.exists()
+        return result, fingerprint, path
+
+    def _recompute(self, tmp_path, request, caplog):
+        """A fresh disk-backed cache must recover by recomputing."""
+        cache = CompileCache(directory=tmp_path)
+        with caplog.at_level("WARNING", logger="repro.api.cache"):
+            result = api_compile(request, cache=cache)
+        assert cache.stats["disk_hits"] == 0
+        assert cache.stats["misses"] == 1
+        return result
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["garbage", "truncated", "schema_mismatch", "payload_version_mismatch",
+         "fingerprint_mismatch", "not_an_object"],
+    )
+    def test_bad_entry_is_a_logged_miss_and_recomputes_identically(
+        self, tmp_path, caplog, corruption
+    ):
+        request = CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="tket")
+        original, fingerprint, path = self._seed_entry(tmp_path, request)
+        envelope = json.loads(path.read_text())
+        if corruption == "garbage":
+            path.write_text("{not json at all")
+        elif corruption == "truncated":
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        elif corruption == "schema_mismatch":
+            envelope["schema"] = CACHE_SCHEMA_VERSION + 1
+            path.write_text(json.dumps(envelope))
+        elif corruption == "payload_version_mismatch":
+            envelope["payload"]["version"] = 999
+            path.write_text(json.dumps(envelope))
+        elif corruption == "fingerprint_mismatch":
+            envelope["fingerprint"] = "0" * 64
+            path.write_text(json.dumps(envelope))
+        elif corruption == "not_an_object":
+            path.write_text(json.dumps([1, 2, 3]))
+        recomputed = self._recompute(tmp_path, request, caplog)
+        assert bits_of(recomputed) == bits_of(original)
+        if corruption != "fingerprint_mismatch":
+            # every other corruption leaves evidence in the log
+            assert any("miss" in record.message for record in caplog.records) or (
+                caplog.records
+            )
+
+    def test_unwritable_directory_degrades_to_memory_tier(self, tmp_path, caplog):
+        blocked = tmp_path / "cache"
+        blocked.write_text("a file where the cache dir should be")
+        cache = CompileCache(directory=blocked)
+        request = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy")
+        with caplog.at_level("WARNING", logger="repro.api.cache"):
+            api_compile(request, cache=cache)  # must not raise
+        hit = api_compile(request, cache=cache)
+        assert cache.stats["memory_hits"] == 1
+        assert gates_of(hit.routed_circuit)
+
+
+class TestTiers:
+    def test_memory_lru_evicts_oldest(self):
+        cache = CompileCache(max_memory_entries=2)
+        requests = [
+            CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy", seed=s)
+            for s in range(3)
+        ]
+        for request in requests:
+            api_compile(request, cache=cache)
+        assert len(cache) == 2
+        api_compile(requests[0], cache=cache)  # evicted: recompute, not a hit
+        assert cache.stats["memory_hits"] == 0
+        api_compile(requests[0], cache=cache)  # now resident again
+        assert cache.stats["memory_hits"] == 1
+
+    def test_zero_memory_entries_disables_the_memory_tier(self, tmp_path):
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path)
+        request = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy")
+        api_compile(request, cache=cache)
+        api_compile(request, cache=cache)
+        assert len(cache) == 0
+        assert cache.stats["disk_hits"] == 1
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path):
+        request = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy")
+        api_compile(request, cache=CompileCache(directory=tmp_path))
+        cache = CompileCache(directory=tmp_path)
+        api_compile(request, cache=cache)
+        api_compile(request, cache=cache)
+        assert cache.stats["disk_hits"] == 1
+        assert cache.stats["memory_hits"] == 1
+
+    def test_info_and_clear(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        for seed in range(2):
+            api_compile(
+                CompileRequest(
+                    circuit=ghz_circuit(6), backend=GRID, router="greedy", seed=seed
+                ),
+                cache=cache,
+            )
+        info = cache.info()
+        assert info["schema"] == CACHE_SCHEMA_VERSION
+        assert info["disk_entries"] == 2
+        assert info["memory_entries"] == 2
+        assert info["disk_bytes"] > 0
+        removed = cache.clear()
+        assert removed == {"memory_entries": 2, "disk_entries": 2}
+        assert cache.info()["disk_entries"] == 0
+        assert len(cache) == 0
+
+    def test_failed_compiles_are_never_cached(self, fresh_default_cache):
+        request = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="nope")
+        with pytest.raises(KeyError):
+            api_compile(request)
+        assert fresh_default_cache.stats["stores"] == 0
+        assert len(fresh_default_cache) == 0
+
+
+class TestPartialBatchFailure:
+    def test_completed_results_are_cached_before_a_later_request_fails(self):
+        good = [
+            CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="greedy", seed=s)
+            for s in range(2)
+        ]
+        bad = CompileRequest(circuit=ghz_circuit(6), backend=GRID, router="nope")
+        cache = CompileCache()
+        with pytest.raises(KeyError):
+            compile_many(good + [bad], workers=1, cache=cache)
+        # the two requests routed before the failure survived into the cache
+        assert cache.stats["stores"] == 2
+        retry = compile_many(good, workers=1, cache=cache)
+        assert retry.cache_hits == 2
+
+
+class TestDuplicateRequestsInOneBatch:
+    def test_duplicates_all_computed_cold_then_all_hit_warm(self):
+        request = CompileRequest(circuit=ghz_circuit(8), backend=GRID, router="sabre")
+        cache = CompileCache()
+        cold = compile_many([request, request, request], cache=cache)
+        assert cold.cache_misses == 3  # no intra-batch dedup: rounds stay honest
+        warm = compile_many([request, request, request], cache=cache)
+        assert warm.cache_hits == 3
+        reference = compile_uncached(request)
+        for result in list(cold) + list(warm):
+            assert gates_of(result.routed_circuit) == gates_of(reference.routed_circuit)

@@ -1,0 +1,158 @@
+"""Round-trip property tests for :mod:`repro.api.serialize`.
+
+The compile cache replays serialized payloads as if they were fresh compile
+runs, so the payload round-trip must be *exact*: for every registered router
+on the two pinned golden circuits, ``CompileResult -> payload ->
+CompileResult`` has to preserve the routed gate sequence, the initial/final
+layouts, the swap count, the depth and the metrics bit for bit.  The pinned
+swap-sequence/gate-sequence hashes under ``tests/data/golden/`` double as an
+independent oracle: a rebuilt circuit must still hash to the snapshot a
+*direct* routing run is pinned against.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CompileRequest,
+    PAYLOAD_VERSION,
+    SerializationError,
+    compile_uncached,
+    result_from_payload,
+    result_to_payload,
+    router_names,
+)
+from repro.api.serialize import circuit_from_payload, circuit_to_payload
+from repro.benchgen.qasmbench import qft_circuit
+from repro.benchgen.queko import generate_queko_circuit
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.topologies import grid_topology
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden"
+
+#: The pinned golden snapshot setup (kept in lockstep with
+#: tests/routing/test_golden.py: same circuits, same backend, same seed).
+GOLDEN_SEED = 0
+
+
+def golden_circuits():
+    queko = generate_queko_circuit(
+        grid_topology(4, 4), depth=8, seed=11, name="golden-queko-4x4-d8"
+    ).circuit
+    return {
+        "queko-4x4-d8": queko,
+        "qasmbench-qft8": qft_circuit(8),
+    }
+
+
+def _sequence_hash(items) -> str:
+    digest = hashlib.sha256()
+    for item in items:
+        digest.update(repr(item).encode())
+    return digest.hexdigest()
+
+
+def gates_of(circuit):
+    return [(g.name, g.qubits, g.params, g.label) for g in circuit]
+
+
+CIRCUIT_NAMES = sorted(golden_circuits())
+
+
+@pytest.mark.parametrize("circuit_name", CIRCUIT_NAMES)
+@pytest.mark.parametrize("router", sorted(router_names()))
+class TestRoundTripEveryRouter:
+    def _round_trip(self, circuit_name, router):
+        result = compile_uncached(
+            CompileRequest(
+                circuit=golden_circuits()[circuit_name],
+                backend=grid_topology(5, 5),
+                router=router,
+                seed=GOLDEN_SEED,
+            )
+        )
+        rebuilt = result_from_payload(result_to_payload(result), result.request)
+        return result, rebuilt
+
+    def test_round_trip_is_exact(self, circuit_name, router):
+        result, rebuilt = self._round_trip(circuit_name, router)
+        assert gates_of(rebuilt.routed_circuit) == gates_of(result.routed_circuit)
+        assert rebuilt.routing.initial_layout == result.routing.initial_layout
+        assert rebuilt.routing.final_layout == result.routing.final_layout
+        assert rebuilt.swaps_added == result.swaps_added
+        assert rebuilt.routed_depth == result.routed_depth
+        assert rebuilt.routing.original_depth == result.routing.original_depth
+        assert rebuilt.routing.cost_evaluations == result.routing.cost_evaluations
+        assert rebuilt.routing.mapper_name == result.routing.mapper_name
+        assert rebuilt.routing.metadata == result.routing.metadata
+        assert rebuilt.metrics == result.metrics
+        assert rebuilt.pass_timings == result.pass_timings
+        assert rebuilt.router == result.router
+        assert rebuilt.backend_name == result.backend_name
+        assert rebuilt.circuit_name == result.circuit_name
+        assert rebuilt.request is result.request
+
+    def test_rebuilt_circuit_matches_golden_snapshot(self, circuit_name, router):
+        """The golden swap/gate hashes must hold for the *deserialized* circuit."""
+        golden = json.loads(
+            (GOLDEN_DIR / f"{circuit_name}.json").read_text()
+        )["routers"][router]
+        _, rebuilt = self._round_trip(circuit_name, router)
+        routed = rebuilt.routed_circuit
+        swaps = [gate.qubits for gate in routed if gate.name == "swap"]
+        assert _sequence_hash(swaps) == golden["swap_hash"]
+        assert _sequence_hash(
+            (g.name, g.qubits, g.params) for g in routed
+        ) == golden["gates_hash"]
+        assert rebuilt.routed_depth == golden["depth"]
+        assert len(swaps) == golden["swaps"]
+
+
+class TestCircuitPayload:
+    def test_measurements_and_barriers_survive(self):
+        circuit = QuantumCircuit(3, name="mixed")
+        circuit.h(0)
+        circuit.barrier(0, 1)
+        circuit.rz(-1.25e-07, 1)  # negative + exponent-notation parameter
+        circuit.cx(1, 2)
+        circuit.measure(2)
+        rebuilt = circuit_from_payload(circuit_to_payload(circuit))
+        assert gates_of(rebuilt) == gates_of(circuit)
+        assert rebuilt.num_qubits == circuit.num_qubits
+        assert rebuilt.name == circuit.name
+
+    def test_qubit_count_mismatch_raises(self):
+        payload = circuit_to_payload(QuantumCircuit(2, name="tiny"))
+        payload["num_qubits"] = 5
+        with pytest.raises(SerializationError, match="qubits"):
+            circuit_from_payload(payload)
+
+    def test_invalid_qasm_payload_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            circuit_from_payload({"name": "x", "num_qubits": 2, "qasm": "not qasm"})
+
+
+class TestResultPayload:
+    def _result(self):
+        return compile_uncached(
+            CompileRequest(generate="ghz:6", backend=grid_topology(3, 3), router="greedy")
+        )
+
+    def test_payload_is_json_serializable(self):
+        payload = result_to_payload(self._result())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_version_mismatch_raises(self):
+        payload = result_to_payload(self._result())
+        payload["version"] = PAYLOAD_VERSION + 1
+        with pytest.raises(SerializationError, match="version"):
+            result_from_payload(payload, None)
+
+    def test_missing_field_raises_serialization_error(self):
+        payload = result_to_payload(self._result())
+        del payload["routing"]
+        with pytest.raises(SerializationError):
+            result_from_payload(payload, None)

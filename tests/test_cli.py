@@ -120,3 +120,97 @@ class TestErrorHandling:
         code = main(["map", "--generate", "nosuchfamily:8"])
         assert code == 2
         assert "cannot generate" in capsys.readouterr().err
+
+
+class TestCacheFlags:
+    MAP_ARGS = ["map", "--generate", "ghz:8", "--backend", "ankaa3", "--mapper", "greedy"]
+
+    def test_map_with_cache_dir_misses_then_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        assert "cache        : miss" in capsys.readouterr().out
+        assert main(self.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        assert "cache        : hit" in capsys.readouterr().out
+
+    def test_cached_map_output_is_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = self.MAP_ARGS + ["--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if not line.startswith(("mapping time", "cache"))
+        ]
+        assert strip(warm) == strip(cold)
+
+    def test_no_cache_bypasses(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(self.MAP_ARGS + ["--no-cache"]) == 0
+        assert "cache        :" not in capsys.readouterr().out
+
+    def test_no_cache_with_cache_dir_exits_2(self, tmp_path, capsys):
+        code = main(self.MAP_ARGS + ["--no-cache", "--cache-dir", str(tmp_path)])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bench_rejects_no_cache_with_cache_dir_too(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--quick", "--no-cache", "--cache-dir", str(tmp_path),
+             "--output", str(tmp_path / "B.json")]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_cache_dir_isolation(self, tmp_path, capsys):
+        first, second = str(tmp_path / "a"), str(tmp_path / "b")
+        assert main(self.MAP_ARGS + ["--cache-dir", first]) == 0
+        capsys.readouterr()
+        # a different directory is a different store: no cross-talk
+        assert main(self.MAP_ARGS + ["--cache-dir", second]) == 0
+        assert "cache        : miss" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def test_cache_info_without_dir_reports_disabled(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "info"]) == 0
+        assert "disabled" in capsys.readouterr().out
+
+    def test_cache_info_counts_entries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(TestCacheFlags.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries : 1" in out
+        assert cache_dir in out
+
+    def test_cache_clear_removes_entries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(TestCacheFlags.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed      : 1 entries" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "disk entries : 0" in capsys.readouterr().out
+
+    def test_cache_clear_without_dir_is_a_noop(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "clear"]) == 0
+        assert "nothing to clear" in capsys.readouterr().out
+
+    def test_cache_respects_env_dir(self, tmp_path, capsys, monkeypatch):
+        cache_dir = str(tmp_path / "env-cache")
+        assert main(TestCacheFlags.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+        assert main(["cache", "info"]) == 0
+        assert "disk entries : 1" in capsys.readouterr().out
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
