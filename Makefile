@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-golden test-cache bench check
+.PHONY: test test-fast test-golden test-cache test-faults bench check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
@@ -25,6 +25,13 @@ test-cache:
 	$(PYTHON) -m pytest tests/api/test_serialize.py tests/api/test_fingerprint.py \
 		tests/api/test_cache.py tests/analysis/test_perf_trajectory.py -q
 
+## Fault-injection suite: structured per-request failures (on_error="collect"),
+## timeouts, retries with deterministic seeded backoff, worker-crash
+## isolation, determinism-under-failure (faulted siblings never perturb clean
+## results), and disk-tier failure simulation always degrading to a miss.
+test-faults:
+	$(PYTHON) -m pytest tests/api/test_faults.py tests/api/test_batch_failures.py -q
+
 ## Routing perf smoke: routes a pinned QUEKO workload with every router and
 ## writes BENCH_routing.json, the machine-readable perf trajectory.
 ## Add `--compare BENCH_routing.json` (before overwriting) to fail on any
@@ -34,11 +41,12 @@ bench:
 
 ## Pre-commit gate: golden determinism snapshots first (a routed-output
 ## regression fails in seconds, before the slow suite), then the compile-cache
-## battery, then tier-1 tests, then a CLI smoke of the public surface
+## battery, then the fault-injection suite, then tier-1 tests, then a CLI
+## smoke of the public surface
 ## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
 ## the compile_many batch driver on a reduced fixture, run twice against one
 ## --cache-dir so the second run exercises warm disk hits end to end).
-check: test-golden test-cache test
+check: test-golden test-cache test-faults test
 	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
 	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
 	rm -rf $(or $(TMPDIR),/tmp)/repro-cache-check

@@ -12,6 +12,7 @@ Usage::
                                                    [--workers N] [--quick]
                                                    [--compare BASELINE]
                                                    [--no-cache] [--cache-dir DIR]
+                                                   [--timeout SECONDS] [--retries N]
 
 or equivalently ``make bench`` / ``repro-map bench``.  ``--compare`` turns
 the run into a determinism gate: per-router ``mean_swaps``/``mean_depth``
@@ -24,6 +25,11 @@ could never hit) -- a re-run against the same directory then answers from
 it, and ``--no-cache`` forbids even that.  The counters are informational
 and never gate the ``--compare`` check -- hit rates move without the routed
 bits changing.
+
+The batch runs fault-tolerantly (``on_error="collect"``) and the run asserts
+**zero failed requests**: any failure is printed as a structured summary and
+exits nonzero, with or without ``--compare``, so the drift gate can never
+silently pass over a partially-failed run.
 """
 
 from __future__ import annotations
@@ -76,13 +82,36 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", type=Path, default=None,
         help="persist cache entries in this directory (a re-run then hits)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock bound per attempt",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed request (deterministic seeded backoff)",
+    )
+    parser.add_argument(
+        "--inject-faults", metavar="PLAN", default=None, help=argparse.SUPPRESS
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.timeout is not None and not args.timeout > 0:
+        parser.error("--timeout must be a positive number of seconds")
+    if args.retries < 0:
+        parser.error("--retries must be non-negative")
     if not args.cache and args.cache_dir is not None:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
+    faults = None
+    if args.inject_faults is not None:
+        from repro.api.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.inject_faults)
+        except ValueError as exc:
+            parser.error(f"--inject-faults: {exc}")
     baseline = None
     if args.compare is not None:
         try:
@@ -96,9 +125,24 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        faults=faults,
     )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
+    failures = record.get("failures", [])
+    if failures:
+        # Zero-failure assertion: a partially-failed run exits nonzero even
+        # without --compare, so it can never pose as a healthy trajectory.
+        print(f"\n{len(failures)} request(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(
+                f"  request {failure['index']}: {failure['error']} in "
+                f"{failure['phase']} pass: {failure['message']}",
+                file=sys.stderr,
+            )
+        return 1
     if baseline is not None:
         problems = quality_regressions(record, baseline)
         if problems:

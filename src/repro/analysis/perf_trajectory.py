@@ -82,6 +82,9 @@ def run_perf_smoke(
     quick: bool = False,
     cache: bool = True,
     cache_dir=None,
+    timeout=None,
+    retries: int = 0,
+    faults=None,
 ) -> dict:
     """Route the pinned fixture with every router; return the trajectory record.
 
@@ -96,6 +99,15 @@ def run_perf_smoke(
     routing-time trajectory either way.  The ``cache`` section of the record
     is informational and is ignored by the :func:`quality_regressions`
     drift gate.
+
+    Failures, by contrast, always gate: the batch runs under
+    ``on_error="collect"`` and every failed request is recorded in the
+    ``failures`` section -- :func:`quality_regressions` refuses a partially
+    failed record outright, so a crashed or timed-out request can never
+    slip through the ``--compare`` drift gate disguised as a healthy run.
+    ``timeout``/``retries``/``faults`` pass straight through to
+    :func:`repro.api.compile_many` (the ``faults`` hook is how the
+    fault-injection tests drive this code path end to end).
     """
     if rounds < 1:
         raise ValueError("rounds must be at least 1")
@@ -110,7 +122,15 @@ def run_perf_smoke(
     )
     backend = sherbrooke()
     requests = smoke_requests(backend, rounds=rounds, quick=quick)
-    batch = compile_many(requests, workers=workers, cache=cache_store)
+    batch = compile_many(
+        requests,
+        workers=workers,
+        cache=cache_store,
+        on_error="collect",
+        timeout=timeout,
+        retries=retries,
+        faults=faults,
+    )
     record: dict = {
         "benchmark": "routing-perf-smoke",
         "backend": backend.name,
@@ -133,6 +153,11 @@ def run_perf_smoke(
             "hits": batch.cache_hits,
             "misses": batch.cache_misses,
         },
+        # Unlike the cache section this one DOES gate: quality_regressions
+        # rejects any record with a non-empty failures list.
+        "failures": [
+            {"index": index, **error.summary()} for index, error in batch.failures
+        ],
         "routers": batch.per_router(),
     }
     return record
@@ -145,10 +170,20 @@ def write_perf_smoke(
     quick: bool = False,
     cache: bool = True,
     cache_dir=None,
+    timeout=None,
+    retries: int = 0,
+    faults=None,
 ) -> dict:
     """Run the smoke workload and write the JSON trajectory record."""
     record = run_perf_smoke(
-        rounds=rounds, workers=workers, quick=quick, cache=cache, cache_dir=cache_dir
+        rounds=rounds,
+        workers=workers,
+        quick=quick,
+        cache=cache,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        faults=faults,
     )
     path = Path(output)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -170,8 +205,10 @@ def render_trajectory(record: dict) -> str:
         if cache.get("enabled")
         else "cache off"
     )
+    failures = record.get("failures") or []
+    failure_note = f", {len(failures)} FAILED" if failures else ""
     lines.append(
-        f"\nbatch: {total_runs} runs, {record['workers']} worker(s), "
+        f"\nbatch: {total_runs} runs{failure_note}, {record['workers']} worker(s), "
         f"wall {record['wall_seconds']:.2f}s, {cache_note}"
     )
     if record["workers"] > 1:
@@ -196,6 +233,17 @@ def quality_regressions(record: dict, baseline: dict) -> list[str]:
     list = no quality change).
     """
     problems: list[str] = []
+    failures = record.get("failures") or []
+    if failures:
+        # A partially-failed run has holes in its per-router means; letting
+        # it through would compare a subset against the full baseline and
+        # could silently mask drift (or fake it).  Refuse outright.
+        problems.append(
+            f"{len(failures)} request(s) failed in this run "
+            f"(first: request {failures[0]['index']}: {failures[0]['error']} in "
+            f"{failures[0]['phase']} pass); a partially-failed trajectory "
+            "cannot gate quality drift"
+        )
     if record.get("fixture") != baseline.get("fixture"):
         problems.append(
             f"fixture mismatch: {record.get('fixture')} != {baseline.get('fixture')}"

@@ -21,7 +21,15 @@ Contents:
 * :func:`~repro.api.pipeline.compile` -- the explicit pass pipeline
   (load -> place -> route -> validate -> metrics) with per-pass timing,
 * :func:`~repro.api.batch.compile_many` -- the deterministic multi-process
-  batch driver (cache-aware: hits are partitioned out before fan-out),
+  batch driver (cache-aware: hits are partitioned out before fan-out) with
+  fault tolerance: ``on_error="collect"`` records per-request failures as
+  structured :class:`~repro.api.result.CompileError` values instead of
+  aborting siblings, ``timeout=``/``retries=``/``backoff=`` bound and retry
+  attempts on a deterministic seeded schedule, and crashed or hung worker
+  processes are reaped and retried,
+* :mod:`~repro.api.faults` -- the deterministic fault-injection harness
+  (:class:`~repro.api.faults.FaultPlan`: exceptions, delays, worker kills
+  and cache corruption keyed by request fingerprint + attempt number),
 * :mod:`~repro.api.registry` -- the declarative ``@register_router``
   registry all routers announce themselves to,
 * :mod:`~repro.api.cache` -- the content-addressed compile cache
@@ -45,16 +53,27 @@ from repro.api.registry import (
     unregister_router,
 )
 from repro.api.request import CompileRequest, sweep_requests
-from repro.api.result import BatchResult, CompileResult
+from repro.api.result import BatchResult, CompileError, CompileResult
 from repro.api.pipeline import (
     PASS_ORDER,
-    CompileError,
     compile,
     compile_uncached,
     load_circuit,
     resolve_backend,
 )
-from repro.api.batch import compile_many, compile_sweep, default_workers
+from repro.api.batch import (
+    ON_ERROR_POLICIES,
+    compile_many,
+    compile_sweep,
+    default_workers,
+)
+from repro.api.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    deterministic_backoff,
+)
 from repro.api.cache import (
     CACHE_DIR_ENV,
     CACHE_SCHEMA_VERSION,
@@ -81,6 +100,12 @@ __all__ = [
     "compile_many",
     "compile_sweep",
     "default_workers",
+    "ON_ERROR_POLICIES",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "deterministic_backoff",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "CompileCache",

@@ -15,9 +15,30 @@ own a cache, so nothing is populated into fork-copied stores that die with
 the pool).  Hits slot back into their original positions, so a warm-cache
 batch is positionally and bit-for-bit identical to a cold serial run.
 
-Processes (not threads) are used because routing is pure-Python CPU work;
-the pool uses the ``fork`` start method where available so workers inherit
-the warm interpreter instead of re-importing the package.
+The driver is also fault-tolerant.  Under ``on_error="collect"`` a failing
+request is recorded as a structured :class:`~repro.api.result.CompileError`
+in its original batch slot instead of aborting its siblings; ``timeout``
+bounds each request's wall-clock per attempt, ``retries`` re-runs failed
+attempts on a deterministic seeded backoff schedule
+(:func:`~repro.api.faults.deterministic_backoff` -- a pure function of the
+request fingerprint and attempt number, never wall-clock jitter), and a
+worker process that crashes or hangs is reaped and its request retried or
+recorded as failed while every sibling's result stays bit-for-bit identical
+to a clean serial run.  The :class:`~repro.api.faults.FaultPlan` harness
+injects exceptions, delays, worker kills and cache corruption at
+deterministic (fingerprint, attempt) points so every one of those recovery
+paths is testable and replayable.
+
+Execution strategy: a clean batch (no timeout, no retries, no fault plan,
+``on_error="raise"``) runs exactly as before -- serial in-process for one
+worker, a ``fork``-based :class:`~concurrent.futures.ProcessPoolExecutor`
+otherwise (workers inherit the warm interpreter instead of re-importing the
+package).  Once fault tolerance is engaged, requests that need *isolation*
+(a wall-clock timeout or a kill fault can only be enforced on a separate
+process) run one attempt per forked child with a result pipe; everything
+else runs in-process with exception capture.  Either way the computation per
+request is the same pure function, so worker count and scheduling never
+change the bits.
 """
 
 from __future__ import annotations
@@ -25,12 +46,21 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.api.pipeline import compile_uncached as _compile
+from repro.api.pipeline import _cache_fault_window
 from repro.api.request import CompileRequest
-from repro.api.result import BatchResult, CompileResult
+from repro.api.result import BatchResult, CompileError, CompileResult
+
+#: Recognised per-request failure policies.
+ON_ERROR_POLICIES = ("raise", "collect")
+
+#: Poll interval of the isolated-attempt scheduler (seconds).
+_POLL_SECONDS = 0.02
 
 
 def default_workers() -> int:
@@ -43,11 +73,335 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def _check_batch_options(workers, timeout, retries, backoff, on_error) -> tuple:
+    """Validate the fault-tolerance arguments; raise ``ValueError`` early.
+
+    Returns the normalized ``(workers, timeout, retries, backoff)`` tuple.
+    Bad values fail loudly *before* any work is scheduled -- a batch must
+    never be half-run on arguments that were silently coerced.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if timeout is not None:
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"timeout must be a positive number of seconds or None, "
+                f"got {timeout!r}"
+            ) from None
+        if not timeout > 0:
+            raise ValueError(
+                f"timeout must be a positive number of seconds or None, got {timeout!r}"
+            )
+    try:
+        retries = int(retries)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"retries must be a non-negative integer, got {retries!r}"
+        ) from None
+    if retries < 0:
+        raise ValueError(f"retries must be a non-negative integer, got {retries}")
+    try:
+        backoff = float(backoff)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"backoff must be a non-negative number of seconds, got {backoff!r}"
+        ) from None
+    if backoff < 0:
+        raise ValueError(
+            f"backoff must be a non-negative number of seconds, got {backoff}"
+        )
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+        )
+    return workers, timeout, retries, backoff
+
+
+# ---------------------------------------------------------------------------
+# Isolated attempt execution (one forked child per attempt)
+# ---------------------------------------------------------------------------
+
+
+def _attempt_child(conn, request, plan, fingerprint, index, attempt) -> None:
+    """Worker body: run one attempt, send ``("ok", result)`` or ``("error", e)``.
+
+    Runs in a forked child.  A ``kill`` fault hard-exits before anything is
+    sent; the parent observes the closed pipe / dead process and records a
+    worker crash.  Every exception -- injected or organic -- is reduced to a
+    picklable structured :class:`CompileError` (the request itself is
+    re-attached by the parent, so worker payloads stay small).
+    """
+    try:
+        try:
+            if plan is not None:
+                from repro.api.faults import apply_execution_faults
+
+                apply_execution_faults(
+                    plan, fingerprint, index, attempt, in_worker=True
+                )
+            result = _compile(request)
+            conn.send(("ok", result))
+        except BaseException as exc:
+            conn.send(
+                ("error", CompileError.from_exception(exc, attempts=attempt + 1))
+            )
+    except BaseException:
+        # The pipe itself failed (parent gone, unpicklable payload...): exit
+        # nonzero so the parent's crash detection still classifies us.
+        os._exit(1)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Job:
+    """One scheduled attempt waiting to start."""
+
+    index: int
+    attempt: int
+    ready_at: float  # monotonic time before which the attempt must not start
+
+
+@dataclass
+class _Running:
+    """One in-flight isolated attempt."""
+
+    index: int
+    attempt: int
+    process: object
+    conn: object
+    deadline: float | None
+
+
+class _FaultTolerantRunner:
+    """Shared attempt/retry bookkeeping for both execution modes."""
+
+    def __init__(
+        self,
+        requests,
+        fingerprints,
+        *,
+        timeout,
+        retries,
+        backoff,
+        plan,
+        on_error,
+        collect,
+    ):
+        self.requests = requests
+        self.fingerprints = fingerprints
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.plan = plan
+        self.on_error = on_error
+        self.collect = collect  # callback(index, result) for successes
+
+    def _seed_key(self, index: int) -> str:
+        # Backoff is seeded on the request's content address where known
+        # (stable across runs and batch positions), else its batch index.
+        return self.fingerprints[index] or f"request-{index}"
+
+    def _backoff_seconds(self, index: int, attempt: int) -> float:
+        from repro.api.faults import deterministic_backoff
+
+        return deterministic_backoff(self._seed_key(index), attempt, self.backoff)
+
+    def _finalize_failure(self, index: int, error: CompileError) -> CompileError:
+        error.request = self.requests[index]
+        if self.on_error == "raise":
+            raise error
+        return error
+
+    # -- in-process execution (no timeout, no kill faults) -------------------
+
+    def run_inline(self, misses: list[int], results: list) -> None:
+        for index in misses:
+            outcome = self._attempts_inline(index)
+            if isinstance(outcome, CompileError):
+                results[index] = self._finalize_failure(index, outcome)
+            else:
+                self.collect(index, outcome)
+
+    def _attempts_inline(self, index: int):
+        request = self.requests[index]
+        fingerprint = self.fingerprints[index]
+        error = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self._backoff_seconds(index, attempt))
+            try:
+                if self.plan is not None:
+                    from repro.api.faults import apply_execution_faults
+
+                    apply_execution_faults(
+                        self.plan, fingerprint, index, attempt, in_worker=False
+                    )
+                return _compile(request)
+            except Exception as exc:
+                error = CompileError.from_exception(
+                    exc, attempts=attempt + 1, request=request
+                )
+        return error
+
+    # -- isolated execution (one forked child per attempt) -------------------
+
+    def run_isolated(self, misses: list[int], results: list, pool_size: int) -> None:
+        ctx = _mp_context()
+        pending: deque[_Job] = deque(_Job(index, 0, 0.0) for index in misses)
+        running: list[_Running] = []
+        try:
+            while pending or running:
+                now = time.monotonic()
+                while len(running) < pool_size:
+                    job = next((j for j in pending if j.ready_at <= now), None)
+                    if job is None:
+                        break
+                    pending.remove(job)
+                    running.append(self._start(ctx, job, now))
+                self._wait_for_events(running)
+                for record in list(running):
+                    outcome = self._poll(record)
+                    if outcome is None:
+                        continue
+                    running.remove(record)
+                    kind, value = outcome
+                    if kind == "ok":
+                        self.collect(record.index, value)
+                    elif record.attempt < self.retries:
+                        pending.append(
+                            _Job(
+                                record.index,
+                                record.attempt + 1,
+                                time.monotonic()
+                                + self._backoff_seconds(
+                                    record.index, record.attempt + 1
+                                ),
+                            )
+                        )
+                    else:
+                        results[record.index] = self._finalize_failure(
+                            record.index, value
+                        )
+                if pending and not running:
+                    # every runnable slot is waiting out a backoff window
+                    next_ready = min(job.ready_at for job in pending)
+                    delay = next_ready - time.monotonic()
+                    if delay > 0:
+                        time.sleep(min(delay, _POLL_SECONDS))
+        finally:
+            for record in running:
+                try:
+                    record.process.terminate()
+                    record.process.join(5)
+                    record.conn.close()
+                except Exception:
+                    pass
+
+    def _start(self, ctx, job: _Job, now: float) -> _Running:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_attempt_child,
+            args=(
+                child_conn,
+                self.requests[job.index],
+                self.plan,
+                self.fingerprints[job.index],
+                job.index,
+                job.attempt,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only the read end: EOF == child gone
+        deadline = None if self.timeout is None else now + self.timeout
+        return _Running(job.index, job.attempt, process, parent_conn, deadline)
+
+    def _wait_for_events(self, running: list[_Running]) -> None:
+        if not running:
+            return
+        from multiprocessing.connection import wait as connection_wait
+
+        timeout = _POLL_SECONDS
+        now = time.monotonic()
+        deadlines = [r.deadline for r in running if r.deadline is not None]
+        if deadlines:
+            timeout = max(0.0, min(min(deadlines) - now, _POLL_SECONDS))
+        try:
+            connection_wait([r.conn for r in running], timeout=timeout)
+        except OSError:
+            pass
+
+    def _poll(self, record: _Running):
+        """The finished outcome of one running attempt, or ``None`` if live.
+
+        Returns ``("ok", CompileResult)`` or ``("error", CompileError)``.
+        """
+        message = None
+        if record.conn.poll():
+            try:
+                message = record.conn.recv()
+            except (EOFError, OSError):
+                message = None  # pipe closed mid-send: classify as a crash
+            if message is not None:
+                self._reap(record)
+                kind, value = message
+                if kind == "ok":
+                    return ("ok", value)
+                value.attempts = record.attempt + 1
+                return ("error", value)
+            exitcode = self._reap(record)
+            return ("error", self._crash_error(record, exitcode))
+        if not record.process.is_alive():
+            exitcode = self._reap(record)
+            return ("error", self._crash_error(record, exitcode))
+        if record.deadline is not None and time.monotonic() > record.deadline:
+            record.process.terminate()
+            self._reap(record)
+            error = CompileError(
+                f"request timed out after {self.timeout:g}s "
+                f"(attempt {record.attempt})",
+                phase="worker",
+                exc_type="Timeout",
+                attempts=record.attempt + 1,
+            )
+            return ("error", error)
+        return None
+
+    def _reap(self, record: _Running):
+        record.process.join(5)
+        exitcode = record.process.exitcode
+        record.conn.close()
+        return exitcode
+
+    def _crash_error(self, record: _Running, exitcode) -> CompileError:
+        return CompileError(
+            f"worker process died with exit code {exitcode} "
+            f"(attempt {record.attempt})",
+            phase="worker",
+            exc_type="WorkerCrash",
+            attempts=record.attempt + 1,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The public driver
+# ---------------------------------------------------------------------------
+
+
 def compile_many(
     requests: Iterable[CompileRequest],
     workers: int = 1,
     chunksize: int | None = None,
     cache=True,
+    on_error: str = "raise",
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    faults=None,
 ) -> BatchResult:
     """Compile every request, fanning out across ``workers`` processes.
 
@@ -63,59 +417,115 @@ def compile_many(
     (compile everything) or an explicit
     :class:`~repro.api.cache.CompileCache`; cache hits are filled in the
     parent process and only the misses are scheduled.
+
+    Fault tolerance (all arguments validated up front; bad values raise
+    :class:`ValueError` before any work is scheduled):
+
+    * ``on_error`` -- ``"raise"`` (default) aborts on the first failing
+      request, preserving the historical contract; ``"collect"`` records
+      each failure as a structured :class:`~repro.api.result.CompileError`
+      in its original batch slot and keeps compiling the siblings.
+    * ``timeout`` -- per-request wall-clock bound in seconds (per attempt);
+      enforcing it requires process isolation, so each attempt runs in its
+      own forked child and a hung worker is terminated and reaped.
+    * ``retries`` -- extra attempts per failed request (``retries=2`` means
+      up to 3 attempts), spaced by the deterministic seeded backoff schedule
+      ``backoff * 2**(attempt-1) * jitter(fingerprint, attempt)``.
+    * ``faults`` -- a :class:`~repro.api.faults.FaultPlan` (or its parse
+      syntax) injecting exceptions, delays, worker kills and cache faults at
+      deterministic (request, attempt) points.
+
+    Successful results are bit-for-bit identical to a clean serial run
+    regardless of worker count, timeouts, retries or faults injected into
+    *other* requests -- each result is a pure function of its request.
     """
     from repro.api.cache import request_fingerprint, resolve_cache
+    from repro.api.faults import resolve_faults
 
-    workers = int(workers)
-    if workers < 1:
-        raise ValueError(f"workers must be at least 1, got {workers}")
+    workers, timeout, retries, backoff = _check_batch_options(
+        workers, timeout, retries, backoff, on_error
+    )
+    plan = resolve_faults(faults)
     requests = list(requests)
     cache_store = resolve_cache(cache)
     start = time.perf_counter()
 
-    results: list[CompileResult | None] = [None] * len(requests)
+    results: list[CompileResult | CompileError | None] = [None] * len(requests)
     misses: list[int] = []
     fingerprints: list[str | None] = [None] * len(requests)
-    if cache_store is None:
-        misses = list(range(len(requests)))
-    else:
-        for index, request in enumerate(requests):
-            fingerprint = request_fingerprint(request)
-            fingerprints[index] = fingerprint
-            hit = cache_store.lookup(fingerprint, request)
-            if hit is None:
-                misses.append(index)
+    with _cache_fault_window(cache_store, plan):
+        if cache_store is None:
+            misses = list(range(len(requests)))
+            if plan is not None:
+                # fault targets and backoff seeds key on the content address
+                for index, request in enumerate(requests):
+                    fingerprints[index] = request_fingerprint(request)
+        else:
+            for index, request in enumerate(requests):
+                fingerprint = request_fingerprint(request)
+                fingerprints[index] = fingerprint
+                hit = cache_store.lookup(fingerprint, request)
+                if hit is None:
+                    misses.append(index)
+                else:
+                    results[index] = hit
+
+        # ``workers`` semantics are independent of the hit rate: the reported
+        # count is the scheduling capacity (clamped to the request count),
+        # while the pool itself is sized by the actual miss load.
+        effective = min(workers, len(requests) or 1)
+        pool_size = min(workers, len(misses) or 1)
+
+        # Results are stored as they arrive, so a failing request late in the
+        # batch still leaves every already completed sibling cached for the
+        # retry.
+        def _collect(index: int, result: CompileResult) -> None:
+            results[index] = result
+            if cache_store is not None:
+                cache_store.store(fingerprints[index], result)
+
+        fault_tolerant = (
+            on_error == "collect"
+            or timeout is not None
+            or retries > 0
+            or plan is not None
+        )
+        if not fault_tolerant:
+            if pool_size == 1:
+                for index in misses:
+                    _collect(index, _compile(requests[index]))
             else:
-                results[index] = hit
-
-    # ``workers`` semantics are independent of the hit rate: the reported
-    # count is the scheduling capacity (clamped to the request count), while
-    # the pool itself is sized by the actual miss load.
-    effective = min(workers, len(requests) or 1)
-    pool_size = min(workers, len(misses) or 1)
-
-    # Results are stored as they arrive (pool.map yields in request order),
-    # so a failing request late in the batch still leaves every already
-    # completed sibling cached for the retry.
-    def _collect(index: int, result: CompileResult) -> None:
-        results[index] = result
-        if cache_store is not None:
-            cache_store.store(fingerprints[index], result)
-
-    if pool_size == 1:
-        for index in misses:
-            _collect(index, _compile(requests[index]))
-    else:
-        if chunksize is None:
-            chunksize = max(1, len(misses) // (pool_size * 4))
-        miss_requests = [requests[index] for index in misses]
-        with ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=_mp_context()
-        ) as pool:
-            for index, result in zip(
-                misses, pool.map(_compile, miss_requests, chunksize=chunksize)
-            ):
-                _collect(index, result)
+                if chunksize is None:
+                    chunksize = max(1, len(misses) // (pool_size * 4))
+                miss_requests = [requests[index] for index in misses]
+                with ProcessPoolExecutor(
+                    max_workers=pool_size, mp_context=_mp_context()
+                ) as pool:
+                    for index, result in zip(
+                        misses,
+                        pool.map(_compile, miss_requests, chunksize=chunksize),
+                    ):
+                        _collect(index, result)
+        else:
+            runner = _FaultTolerantRunner(
+                requests,
+                fingerprints,
+                timeout=timeout,
+                retries=retries,
+                backoff=backoff,
+                plan=plan,
+                on_error=on_error,
+                collect=_collect,
+            )
+            # A wall-clock timeout or a kill fault can only be enforced on an
+            # isolated process; otherwise one worker runs attempts in-process.
+            needs_isolation = timeout is not None or (
+                plan is not None and plan.has_kills()
+            )
+            if pool_size == 1 and not needs_isolation:
+                runner.run_inline(misses, results)
+            else:
+                runner.run_isolated(misses, results, pool_size)
 
     return BatchResult(
         results=results,
@@ -134,6 +544,11 @@ def compile_sweep(
     circuits=None,
     workers: int = 1,
     cache=True,
+    on_error: str = "raise",
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    faults=None,
 ) -> BatchResult:
     """Expand ``base`` with :func:`repro.api.request.sweep_requests` and compile it."""
     from repro.api.request import sweep_requests
@@ -142,7 +557,18 @@ def compile_sweep(
         sweep_requests(base, routers=routers, seeds=seeds, circuits=circuits),
         workers=workers,
         cache=cache,
+        on_error=on_error,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        faults=faults,
     )
 
 
-__all__ = ["compile_many", "compile_sweep", "default_workers", "CompileResult"]
+__all__ = [
+    "compile_many",
+    "compile_sweep",
+    "default_workers",
+    "CompileResult",
+    "ON_ERROR_POLICIES",
+]

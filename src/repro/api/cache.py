@@ -20,11 +20,19 @@ rehydrate on every hit, so a cached result is always a fresh object built
 through the same round-trip the test battery pins as exact.  Corrupted,
 truncated or version-mismatched disk entries are logged and treated as
 misses -- the cache never raises on bad persisted state.
+
+That degrade-to-miss contract is testable: a cache constructed with a
+``fault_plan`` (:class:`~repro.api.faults.FaultPlan`) simulates disk-tier
+failures -- ``ENOSPC``/permission-denied on write, torn partial writes,
+post-write corruption, permission-denied on read -- at deterministic
+fingerprint-keyed points, and every one of them must surface as a recomputed
+miss, never as an exception reaching the caller.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import logging
@@ -226,19 +234,32 @@ class CompileCache:
             the memory tier entirely).
         directory: directory of the on-disk tier; ``None`` (the default)
             keeps the cache memory-only.
+        fault_plan: optional :class:`~repro.api.faults.FaultPlan` simulating
+            disk-tier failures (``cache-write-enospc``, ``cache-write-eacces``,
+            ``cache-partial-write``, ``cache-corrupt``, ``cache-read-eacces``)
+            at fingerprint-keyed points; every simulated failure must degrade
+            to a recomputed miss.
     """
 
     def __init__(
         self,
         max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
         directory: str | Path | None = None,
+        fault_plan=None,
     ):
         if max_memory_entries < 0:
             raise ValueError("max_memory_entries must be non-negative")
         self.max_memory_entries = int(max_memory_entries)
         self.directory = Path(directory) if directory is not None else None
+        self.fault_plan = fault_plan
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self.stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+
+    def _injected_faults(self, fingerprint: str) -> frozenset[str]:
+        """The simulated disk-fault kinds scheduled for this fingerprint."""
+        if self.fault_plan is None:
+            return frozenset()
+        return self.fault_plan.cache_fault_kinds_for(fingerprint)
 
     # -- lookups -------------------------------------------------------------
 
@@ -314,6 +335,10 @@ class CompileCache:
     def _disk_get(self, fingerprint: str) -> dict | None:
         path = self._entry_path(fingerprint)
         try:
+            if "cache-read-eacces" in self._injected_faults(fingerprint):
+                raise PermissionError(
+                    errno.EACCES, f"injected read fault for {path.name}"
+                )
             envelope = json.loads(path.read_text())
         except FileNotFoundError:
             return None
@@ -344,8 +369,23 @@ class CompileCache:
             "fingerprint": fingerprint,
             "payload": payload,
         }
+        faults = self._injected_faults(fingerprint)
         try:
+            if "cache-write-enospc" in faults:
+                raise OSError(
+                    errno.ENOSPC, f"injected ENOSPC writing {fingerprint[:12]}"
+                )
+            if "cache-write-eacces" in faults:
+                raise PermissionError(
+                    errno.EACCES, f"injected EACCES writing {fingerprint[:12]}"
+                )
             self.directory.mkdir(parents=True, exist_ok=True)
+            if "cache-partial-write" in faults:
+                # A torn write: the process died mid-write without the atomic
+                # temp-file dance, leaving a truncated entry at the final path.
+                text = json.dumps(envelope, sort_keys=True)
+                self._entry_path(fingerprint).write_text(text[: len(text) // 2])
+                return
             # Atomic publish: write to a sibling temp file, then rename over
             # the final path so readers never observe a truncated entry.
             fd, tmp_name = tempfile.mkstemp(
@@ -361,6 +401,10 @@ class CompileCache:
                 except OSError:
                     pass
                 raise
+            if "cache-corrupt" in faults:
+                # Bit rot after a successful write: the entry bytes on disk
+                # no longer parse (distinct from the torn-write shape above).
+                self._entry_path(fingerprint).write_bytes(b"\x00corrupt\xff{{{")
         except OSError as exc:
             logger.warning("cannot persist cache entry %s (%s); memory tier only",
                            fingerprint[:12], exc)

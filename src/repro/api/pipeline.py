@@ -35,9 +35,11 @@ from __future__ import annotations
 import time
 from pathlib import Path
 
+from contextlib import contextmanager
+
 from repro.api.registry import resolve_router
 from repro.api.request import CompileRequest
-from repro.api.result import CompileResult
+from repro.api.result import CompileError, CompileResult
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.metrics import total_operations, two_qubit_gate_count
 from repro.circuit.validation import check_connectivity, verify_routing
@@ -47,8 +49,34 @@ from repro.hardware.coupling import CouplingGraph
 PASS_ORDER = ("load", "place", "route", "validate", "metrics")
 
 
-class CompileError(RuntimeError):
-    """A compile request that cannot be executed (bad input, unknown name...)."""
+def _annotate_phase(exc: BaseException, phase: str) -> None:
+    """Stamp the failing pipeline phase onto an escaping exception.
+
+    :meth:`CompileError.from_exception` reads the annotation when building
+    the structured failure record, so a collected batch failure names the
+    pass that died without the pipeline having to wrap every exception type.
+    """
+    if isinstance(exc, CompileError):
+        exc.phase = phase
+    elif getattr(exc, "_compile_phase", None) is None:
+        try:
+            exc._compile_phase = phase
+        except Exception:
+            pass  # extension or slotted exception types just skip the stamp
+
+
+@contextmanager
+def _cache_fault_window(cache_store, plan):
+    """Attach a fault plan's cache faults to ``cache_store`` for one call."""
+    if cache_store is None or plan is None or not plan.has_cache_faults():
+        yield
+        return
+    previous = getattr(cache_store, "fault_plan", None)
+    cache_store.fault_plan = plan
+    try:
+        yield
+    finally:
+        cache_store.fault_plan = previous
 
 
 def load_circuit(
@@ -105,72 +133,113 @@ def resolve_backend(backend: str | CouplingGraph) -> CouplingGraph:
 def compile(  # noqa: A001 - deliberate name
     request: CompileRequest,
     cache: "CompileCache | bool | None" = True,
+    faults: "FaultPlan | str | None" = None,
 ) -> CompileResult:
     """Run the full pass pipeline for one request (cache-aware).
 
     ``cache`` is ``True`` (the process default in-memory cache), ``False`` /
     ``None`` (always recompute) or an explicit
     :class:`~repro.api.cache.CompileCache`.
+
+    ``faults`` is the deterministic fault-injection harness
+    (:class:`~repro.api.faults.FaultPlan` or its parse syntax): execution
+    faults fire before the pipeline (attempt 0 -- single calls never retry;
+    use :func:`repro.api.compile_many` for retry semantics) and cache faults
+    are applied to the disk tier for the duration of this call.  ``None``
+    (the default) injects nothing and costs nothing.
     """
     from repro.api.cache import request_fingerprint, resolve_cache
+    from repro.api.faults import resolve_faults
 
     cache_store = resolve_cache(cache)
-    if cache_store is None:
-        return compile_uncached(request)
-    fingerprint = request_fingerprint(request)
-    hit = cache_store.lookup(fingerprint, request)
-    if hit is not None:
-        return hit
-    result = compile_uncached(request)
-    cache_store.store(fingerprint, result)
-    return result
+    plan = resolve_faults(faults)
+    with _cache_fault_window(cache_store, plan):
+        if cache_store is None:
+            fingerprint = request_fingerprint(request) if plan is not None else None
+            return compile_uncached(request, faults=plan, fingerprint=fingerprint)
+        fingerprint = request_fingerprint(request)
+        hit = cache_store.lookup(fingerprint, request)
+        if hit is not None:
+            return hit
+        result = compile_uncached(request, faults=plan, fingerprint=fingerprint)
+        cache_store.store(fingerprint, result)
+        return result
 
 
-def compile_uncached(request: CompileRequest) -> CompileResult:
-    """Run the full pass pipeline for one request, bypassing every cache."""
+def compile_uncached(
+    request: CompileRequest,
+    faults: "FaultPlan | None" = None,
+    fingerprint: str | None = None,
+    attempt: int = 0,
+    in_worker: bool = False,
+) -> CompileResult:
+    """Run the full pass pipeline for one request, bypassing every cache.
+
+    Any escaping exception is annotated with the failing phase (``request``,
+    ``load``, ``place``, ``route``, ``validate`` or ``metrics``) so the
+    batch driver's structured failure records name the pass that died.
+    """
+    phase = "request"
     try:
-        request.check()
-    except ValueError as exc:
-        raise CompileError(str(exc)) from exc
-    timings: dict[str, float] = {}
+        if faults is not None:
+            from repro.api.faults import apply_execution_faults
 
-    start = time.perf_counter()
-    circuit = load_circuit(request.circuit, request.qasm, request.generate)
-    coupling = resolve_backend(request.backend)
-    timings["load"] = time.perf_counter() - start
+            phase = "inject"
+            apply_execution_faults(
+                faults, fingerprint, None, attempt, in_worker=in_worker
+            )
+            phase = "request"
+        try:
+            request.check()
+        except ValueError as exc:
+            raise CompileError(str(exc)) from exc
+        timings: dict[str, float] = {}
 
-    start = time.perf_counter()
-    layout = _place(request, circuit, coupling)
-    timings["place"] = time.perf_counter() - start
+        phase = "load"
+        start = time.perf_counter()
+        circuit = load_circuit(request.circuit, request.qasm, request.generate)
+        coupling = resolve_backend(request.backend)
+        timings["load"] = time.perf_counter() - start
 
-    spec = resolve_router(request.router)
-    router = spec.make(coupling, seed=request.seed, config=request.router_config)
-    start = time.perf_counter()
-    routing = router.run(circuit, layout)
-    timings["route"] = time.perf_counter() - start
+        phase = "place"
+        start = time.perf_counter()
+        layout = _place(request, circuit, coupling)
+        timings["place"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    if request.validation == "connectivity":
-        check_connectivity(routing.routed_circuit, coupling.edges())
-    elif request.validation == "full":
-        verify_routing(
-            circuit, routing.routed_circuit, coupling.edges(), routing.initial_layout
+        phase = "route"
+        spec = resolve_router(request.router)
+        router = spec.make(coupling, seed=request.seed, config=request.router_config)
+        start = time.perf_counter()
+        routing = router.run(circuit, layout)
+        timings["route"] = time.perf_counter() - start
+
+        phase = "validate"
+        start = time.perf_counter()
+        if request.validation == "connectivity":
+            check_connectivity(routing.routed_circuit, coupling.edges())
+        elif request.validation == "full":
+            verify_routing(
+                circuit, routing.routed_circuit, coupling.edges(), routing.initial_layout
+            )
+        timings["validate"] = time.perf_counter() - start
+
+        phase = "metrics"
+        start = time.perf_counter()
+        metrics = _metrics(request, circuit, coupling, spec.name, routing, timings)
+        timings["metrics"] = time.perf_counter() - start
+
+        return CompileResult(
+            request=request,
+            routing=routing,
+            router=spec.name,
+            backend_name=coupling.name,
+            circuit_name=request.label or circuit.name,
+            pass_timings=timings,
+            metrics=metrics,
         )
-    timings["validate"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    metrics = _metrics(request, circuit, coupling, spec.name, routing, timings)
-    timings["metrics"] = time.perf_counter() - start
-
-    return CompileResult(
-        request=request,
-        routing=routing,
-        router=spec.name,
-        backend_name=coupling.name,
-        circuit_name=request.label or circuit.name,
-        pass_timings=timings,
-        metrics=metrics,
-    )
+    except Exception as exc:
+        _annotate_phase(exc, phase)
+        raise
 
 
 def _place(request: CompileRequest, circuit: QuantumCircuit, coupling: CouplingGraph):

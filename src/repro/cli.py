@@ -20,8 +20,12 @@ recomputes everything); ``bench`` consults it only when ``--cache-dir`` is
 given, so default benchmark runs always measure real work.  Every mapping
 goes through
 :func:`repro.api.compile`; user errors (unknown router or backend,
-unreadable or invalid QASM) exit with code 2 and a one-line message instead
-of a traceback.
+unreadable or invalid QASM) exit with code 2 and a one-line message, and any
+failure escaping the pipeline (an unroutable circuit/backend pair, a crashed
+pass) exits with code 1 and a structured one-line
+:class:`~repro.api.result.CompileError` summary -- never a raw traceback.
+``bench`` exits 1 when any request in the batch failed, so a partially
+failed run can never masquerade as a healthy perf trajectory.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.api import (
     CompileCache,
     CompileError,
     CompileRequest,
+    FaultPlan,
     UnknownRouterError,
     compile as api_compile,
     load_circuit,
@@ -98,6 +103,28 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_argument(parser: argparse.ArgumentParser) -> None:
+    # Hidden: the deterministic fault-injection harness, for exercising and
+    # replaying recovery paths (see repro.api.faults).  Not part of the
+    # supported surface, hence absent from --help.
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PLAN",
+        default=None,
+        help=argparse.SUPPRESS,
+    )
+
+
+def _parse_faults(args: argparse.Namespace) -> FaultPlan | None:
+    """The fault plan named by the hidden ``--inject-faults`` flag."""
+    if getattr(args, "inject_faults", None) is None:
+        return None
+    try:
+        return FaultPlan.parse(args.inject_faults)
+    except ValueError as exc:
+        raise CompileError(f"--inject-faults: {exc}") from exc
+
+
 def _command_map(args: argparse.Namespace) -> int:
     _check_circuit_source(args)
     placement = "identity"
@@ -124,7 +151,7 @@ def _command_map(args: argparse.Namespace) -> int:
         validation="full" if args.verify else "none",
     )
     cache = _make_cache(args)
-    result = api_compile(request, cache=cache)
+    result = api_compile(request, cache=cache, faults=_parse_faults(args))
     metrics = result.metrics
     print(
         f"circuit      : {metrics['circuit']} "
@@ -213,6 +240,12 @@ def _command_bench(args: argparse.Namespace) -> int:
         raise CompileError("repro-map bench: --rounds must be at least 1")
     if args.workers < 1:
         raise CompileError("repro-map bench: --workers must be at least 1")
+    if args.timeout is not None and not args.timeout > 0:
+        raise CompileError(
+            "repro-map bench: --timeout must be a positive number of seconds"
+        )
+    if args.retries < 0:
+        raise CompileError("repro-map bench: --retries must be non-negative")
     if not args.cache and args.cache_dir is not None:
         raise CompileError("--no-cache and --cache-dir are mutually exclusive")
     record = write_perf_smoke(
@@ -222,9 +255,23 @@ def _command_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        faults=_parse_faults(args),
     )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
+    failures = record.get("failures", [])
+    if failures:
+        # A partially-failed run must never look like a healthy trajectory.
+        print(f"\nrepro-map bench: {len(failures)} request(s) failed:", file=sys.stderr)
+        for failure in failures:
+            print(
+                f"  request {failure['index']}: {failure['error']} in "
+                f"{failure['phase']} pass: {failure['message']}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -282,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     map_parser.add_argument("--verify", action="store_true", help="validate the routed circuit")
     map_parser.add_argument("--output", type=Path, help="write the routed circuit as QASM")
     _add_cache_arguments(map_parser)
+    _add_fault_argument(map_parser)
     map_parser.set_defaults(func=_command_map)
 
     compare_parser = subparsers.add_parser("compare", help="compare all mappers on one circuit")
@@ -317,7 +365,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="reduced fixture for CI smoke runs (not comparable to full runs)",
     )
+    bench_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock bound per attempt (requires worker isolation)",
+    )
+    bench_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed request (deterministic seeded backoff)",
+    )
     _add_cache_arguments(bench_parser)
+    _add_fault_argument(bench_parser)
     bench_parser.set_defaults(func=_command_bench)
 
     cache_parser = subparsers.add_parser(
@@ -342,7 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; user errors exit 2 with a one-line message."""
+    """CLI entry point.
+
+    Exit codes: 0 success; 2 user error (unknown router/backend, bad
+    arguments, unreadable or invalid QASM -- one-line message); 1 execution
+    failure (validation failure, or any exception escaping the pipeline --
+    printed as a structured :class:`CompileError` summary naming the failing
+    pass, never a raw traceback).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -353,6 +417,15 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     except RoutingValidationError as exc:
         print(f"repro-map: validation failed: {exc}", file=sys.stderr)
+        return 1
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except Exception as exc:
+        # The CLI boundary: an unroutable circuit/backend pair (or any other
+        # pipeline failure) surfaces as a structured one-line failure record,
+        # not a traceback dump.
+        failure = CompileError.from_exception(exc)
+        print(f"repro-map: compile failed: {failure.describe()}", file=sys.stderr)
         return 1
 
 

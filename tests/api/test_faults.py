@@ -1,0 +1,295 @@
+"""Tests for the deterministic fault-injection harness (:mod:`repro.api.faults`).
+
+Covers the plan algebra (targeting, attempt scoping, parse syntax), the
+seeded backoff schedule, execution-fault application, the hardened cache
+disk tier (every simulated disk failure must degrade to a recomputed miss,
+never an exception) and the CLI/pipeline wiring of ``--inject-faults``.
+"""
+
+import logging
+
+import pytest
+
+from repro.api import (
+    CompileCache,
+    CompileRequest,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    compile as api_compile,
+    deterministic_backoff,
+    request_fingerprint,
+)
+from repro.api.faults import apply_execution_faults
+from repro.benchgen.qasmbench import ghz_circuit
+from repro.hardware.topologies import grid_topology
+
+GRID = grid_topology(4, 4)
+
+
+def gates_of(circuit):
+    return [(g.name, g.qubits, g.params) for g in circuit]
+
+
+def request_for(seed=0, router="greedy"):
+    return CompileRequest(circuit=ghz_circuit(8), backend=GRID, router=router, seed=seed)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt must be non-negative"):
+            FaultSpec(kind="exception", attempt=-1)
+
+    def test_attempt_scoping(self):
+        every = FaultSpec(kind="exception")
+        first_only = FaultSpec(kind="exception", attempt=0)
+        assert every.matches(0) and every.matches(7)
+        assert first_only.matches(0) and not first_only.matches(1)
+
+
+class TestFaultPlanTargeting:
+    def test_index_target(self):
+        plan = FaultPlan().inject(2, "exception")
+        assert plan.faults_for(None, 2, 0)
+        assert not plan.faults_for(None, 1, 0)
+
+    def test_fingerprint_target_via_request(self):
+        request = request_for()
+        plan = FaultPlan().inject(request, "exception")
+        fingerprint = request_fingerprint(request)
+        # matches by content address regardless of batch position
+        assert plan.faults_for(fingerprint, 41, 0)
+        assert not plan.faults_for("0" * 64, 41, 0)
+
+    def test_wildcard_target(self):
+        plan = FaultPlan().inject("*", "delay")
+        assert plan.faults_for(None, 0, 0) and plan.faults_for("f" * 64, 9, 3)
+
+    def test_attempt_scoped_fault_fires_once(self):
+        plan = FaultPlan().inject(0, "exception", attempt=0)
+        assert plan.faults_for(None, 0, 0)
+        assert not plan.faults_for(None, 0, 1)
+
+    def test_cache_faults_separated_from_execution_faults(self):
+        plan = (
+            FaultPlan()
+            .inject(0, "exception")
+            .inject(0, "cache-corrupt")
+            .inject("*", "cache-write-enospc")
+        )
+        assert [s.kind for s in plan.execution_faults_for(None, 0, 0)] == ["exception"]
+        assert plan.cache_fault_kinds_for(None) == {"cache-write-enospc"}
+        assert plan.has_cache_faults() and not plan.has_kills()
+
+    def test_bad_targets_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().inject(-1, "exception")
+        with pytest.raises(ValueError):
+            FaultPlan().inject(None, "exception")
+        with pytest.raises(ValueError):
+            FaultPlan().inject("", "exception")
+
+
+class TestFaultPlanParse:
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse("2:exception,5:kill:0,*:delay")
+        assert len(plan) == 3
+        assert [s.kind for s in plan.faults_for(None, 2, 0)] == ["exception", "delay"]
+        assert [s.kind for s in plan.faults_for(None, 5, 0)] == ["kill", "delay"]
+        assert [s.kind for s in plan.faults_for(None, 5, 1)] == ["delay"]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "2", "2:explode", "x:exception", "2:exception:x", "2:exception:0:9"],
+    )
+    def test_parse_rejects_malformed_specs(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(text)
+
+    def test_plans_are_picklable(self):
+        import pickle
+
+        plan = FaultPlan.parse("2:exception,5:kill:0")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert [s.kind for s in clone.faults_for(None, 5, 0)] == ["kill"]
+
+
+class TestApplyExecutionFaults:
+    def test_exception_fault_raises_injected_fault(self):
+        plan = FaultPlan().inject(3, "exception", message="boom")
+        with pytest.raises(InjectedFault, match=r"boom \(request #3, attempt 1\)"):
+            apply_execution_faults(plan, None, 3, 1)
+
+    def test_kill_fault_outside_worker_degrades_to_exception(self):
+        # the parent interpreter must survive a kill fault applied in-process
+        plan = FaultPlan().inject(0, "kill")
+        with pytest.raises(InjectedFault, match="outside a worker process"):
+            apply_execution_faults(plan, None, 0, 0, in_worker=False)
+
+    def test_delay_fault_sleeps(self):
+        import time
+
+        plan = FaultPlan().inject(0, "delay", delay_seconds=0.05)
+        start = time.perf_counter()
+        apply_execution_faults(plan, None, 0, 0)
+        assert time.perf_counter() - start >= 0.04
+
+    def test_no_faults_is_a_no_op(self):
+        apply_execution_faults(FaultPlan(), None, 0, 0)
+
+
+class TestDeterministicBackoff:
+    def test_pure_function_of_inputs(self):
+        assert deterministic_backoff("abc", 2, 0.1) == deterministic_backoff(
+            "abc", 2, 0.1
+        )
+        assert deterministic_backoff("abc", 2, 0.1) != deterministic_backoff(
+            "abd", 2, 0.1
+        )
+
+    def test_zero_base_and_first_attempt_are_free(self):
+        assert deterministic_backoff("abc", 3, 0.0) == 0.0
+        assert deterministic_backoff("abc", 0, 1.0) == 0.0
+
+    def test_exponential_envelope_with_bounded_jitter(self):
+        base = 0.2
+        for attempt in (1, 2, 3, 4):
+            delay = deterministic_backoff("seed", attempt, base)
+            envelope = base * 2 ** (attempt - 1)
+            assert 0.5 * envelope <= delay < envelope
+
+
+class TestCacheDiskFaults:
+    """Every simulated disk failure must degrade to a recomputed miss."""
+
+    @pytest.fixture()
+    def request_and_clean(self):
+        request = request_for()
+        return request, api_compile(request, cache=False)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            "cache-write-enospc",
+            "cache-write-eacces",
+            "cache-partial-write",
+            "cache-corrupt",
+            "cache-read-eacces",
+        ],
+    )
+    def test_disk_fault_degrades_to_recomputed_miss(
+        self, kind, tmp_path, request_and_clean, caplog
+    ):
+        request, clean = request_and_clean
+        plan = FaultPlan().inject("*", kind)
+        # memory tier off so every lookup exercises the faulty disk tier
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path, fault_plan=plan)
+        with caplog.at_level(logging.WARNING, logger="repro.api.cache"):
+            first = api_compile(request, cache=cache)
+            second = api_compile(request, cache=cache)
+        assert gates_of(first.routed_circuit) == gates_of(clean.routed_circuit)
+        assert gates_of(second.routed_circuit) == gates_of(clean.routed_circuit)
+        assert cache.stats["disk_hits"] == 0
+        assert cache.stats["misses"] == 2
+
+    def test_write_faults_leave_no_entry_behind(self, tmp_path, request_and_clean):
+        request, _ = request_and_clean
+        plan = FaultPlan().inject("*", "cache-write-enospc")
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path, fault_plan=plan)
+        api_compile(request, cache=cache)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_partial_write_leaves_truncated_entry(self, tmp_path, request_and_clean):
+        request, _ = request_and_clean
+        plan = FaultPlan().inject("*", "cache-partial-write")
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path, fault_plan=plan)
+        api_compile(request, cache=cache)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        with pytest.raises(ValueError):
+            import json
+
+            json.loads(entries[0].read_text())
+
+    def test_fingerprint_scoped_fault_spares_other_entries(self, tmp_path):
+        faulty_request = request_for(seed=0)
+        healthy_request = request_for(seed=1)
+        plan = FaultPlan().inject(faulty_request, "cache-write-enospc")
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path, fault_plan=plan)
+        api_compile(faulty_request, cache=cache)
+        api_compile(healthy_request, cache=cache)
+        api_compile(healthy_request, cache=cache)
+        assert cache.stats["disk_hits"] == 1  # healthy entry round-trips
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_healthy_cache_unaffected_without_plan(self, tmp_path, request_and_clean):
+        request, clean = request_and_clean
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path)
+        api_compile(request, cache=cache)
+        warm = api_compile(request, cache=cache)
+        assert cache.stats["disk_hits"] == 1
+        assert gates_of(warm.routed_circuit) == gates_of(clean.routed_circuit)
+
+
+class TestCompileFaultWiring:
+    def test_compile_applies_execution_faults(self):
+        request = request_for()
+        with pytest.raises(InjectedFault):
+            api_compile(request, cache=False, faults=FaultPlan().inject("*", "exception"))
+
+    def test_compile_accepts_parse_syntax(self):
+        request = request_for()
+        with pytest.raises(InjectedFault):
+            api_compile(request, cache=False, faults="*:exception")
+
+    def test_compile_restores_cache_fault_plan(self, tmp_path):
+        request = request_for()
+        cache = CompileCache(max_memory_entries=0, directory=tmp_path)
+        plan = FaultPlan().inject("*", "cache-write-enospc")
+        api_compile(request, cache=cache, faults=plan)
+        assert cache.fault_plan is None
+        assert not list(tmp_path.glob("*.json"))
+        # next call without faults persists normally
+        api_compile(request, cache=cache)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_compile_rejects_bad_faults_argument(self):
+        with pytest.raises(TypeError, match="faults must be"):
+            api_compile(request_for(), cache=False, faults=42)
+
+
+class TestCliFaultInjection:
+    def test_map_inject_exception_exits_1_with_structured_summary(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "map",
+                "--generate",
+                "ghz:8",
+                "--mapper",
+                "greedy",
+                "--no-cache",
+                "--inject-faults",
+                "*:exception",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro-map: compile failed:" in captured.err
+        assert "InjectedFault" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_map_bad_fault_spec_exits_2(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["map", "--generate", "ghz:8", "--inject-faults", "nonsense"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--inject-faults" in captured.err

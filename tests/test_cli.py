@@ -122,6 +122,74 @@ class TestErrorHandling:
         assert "cannot generate" in capsys.readouterr().err
 
 
+class TestFailureContract:
+    """Exit-code contract: 2 = user error (one line), 1 = compile failure
+    (structured :class:`CompileError` summary, never a raw traceback)."""
+
+    def test_bench_zero_timeout_exits_2_with_one_line_message(self, capsys):
+        code = main(["bench", "--quick", "--timeout", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--timeout" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bench_negative_retries_exits_2_with_one_line_message(self, capsys):
+        code = main(["bench", "--quick", "--retries", "-1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--retries" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_self_loop_gate_exits_1_with_structured_summary(self, capsys, tmp_path):
+        # Routing a two-qubit gate with repeated operands used to escape as a
+        # raw ValueError traceback; it must surface as a structured summary.
+        qasm = tmp_path / "selfloop.qasm"
+        qasm.write_text(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncx q[0],q[0];\n'
+        )
+        code = main(["map", "--qasm", str(qasm), "--no-cache"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "repro-map: compile failed:" in captured.err
+        assert "ValueError" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bench_with_injected_fault_exits_1_and_lists_failures(
+        self, capsys, tmp_path
+    ):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--output",
+                str(tmp_path / "bench.json"),
+                "--inject-faults",
+                "0:exception",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "request(s) failed" in captured.err
+        assert "InjectedFault" in captured.err
+
+    def test_bench_retry_absorbs_transient_fault(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench",
+                "--quick",
+                "--output",
+                str(tmp_path / "bench.json"),
+                "--retries",
+                "1",
+                "--inject-faults",
+                "0:exception:0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "FAILED" not in captured.out
+
+
 class TestCacheFlags:
     MAP_ARGS = ["map", "--generate", "ghz:8", "--backend", "ankaa3", "--mapper", "greedy"]
 
