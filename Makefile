@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-golden test-cache test-faults bench check
+.PHONY: test test-fast test-golden test-cache test-faults test-serve bench serve check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
@@ -32,6 +32,20 @@ test-cache:
 test-faults:
 	$(PYTHON) -m pytest tests/api/test_faults.py tests/api/test_batch_failures.py -q
 
+## Compile-service suite: queue ordering/backpressure, wire codecs and error
+## mapping, handler-level service semantics (coalescing, jobs, drain, fault
+## injection through the service path), plus one loopback HTTP smoke proving
+## served-vs-direct bit-for-bit parity, single-execution coalescing,
+## 429 + Retry-After and drain-exits-0.  Fast (~15 s); no ports are bound
+## except by the loopback tests (ephemeral, 127.0.0.1 only).
+test-serve:
+	$(PYTHON) -m pytest tests/serve -q
+
+## Run the compile service locally on the default port (Ctrl-C to stop,
+## `curl -X POST localhost:8653/admin/drain` for a graceful exit).
+serve:
+	$(PYTHON) -m repro serve --workers 2
+
 ## Routing perf smoke: routes a pinned QUEKO workload with every router and
 ## writes BENCH_routing.json, the machine-readable perf trajectory.
 ## Add `--compare BENCH_routing.json` (before overwriting) to fail on any
@@ -41,12 +55,12 @@ bench:
 
 ## Pre-commit gate: golden determinism snapshots first (a routed-output
 ## regression fails in seconds, before the slow suite), then the compile-cache
-## battery, then the fault-injection suite, then tier-1 tests, then a CLI
-## smoke of the public surface
+## battery, then the fault-injection suite, then the compile-service suite,
+## then tier-1 tests, then a CLI smoke of the public surface
 ## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
 ## the compile_many batch driver on a reduced fixture, run twice against one
 ## --cache-dir so the second run exercises warm disk hits end to end).
-check: test-golden test-cache test-faults test
+check: test-golden test-cache test-faults test-serve test
 	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
 	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
 	rm -rf $(or $(TMPDIR),/tmp)/repro-cache-check

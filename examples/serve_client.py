@@ -1,0 +1,88 @@
+"""Drive the repro-map compile service from a stdlib-only client.
+
+Start a server in another terminal first::
+
+    repro-map serve --workers 2            # or: make serve
+
+then run this script::
+
+    PYTHONPATH=src python examples/serve_client.py [host] [port]
+
+It walks the whole HTTP surface: a synchronous compile, the cache hit the
+second identical request gets, an async job handle polled to completion, a
+batch, and the metrics snapshot.  Everything is plain ``http.client`` +
+``json`` -- the service speaks ordinary JSON-over-HTTP, so any language's
+stdlib can be a client.
+"""
+
+import http.client
+import json
+import sys
+import time
+
+
+def call(host, port, method, path, body=None):
+    connection = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def main(argv):
+    host = argv[1] if len(argv) > 1 else "127.0.0.1"
+    port = int(argv[2]) if len(argv) > 2 else 8653
+
+    status, health = call(host, port, "GET", "/healthz")
+    print(f"healthz      : {status} {health['status']} (v{health['version']})")
+
+    request = {"generate": "qft:8", "backend": "ankaa3", "router": "sabre", "seed": 0}
+
+    # Synchronous compile: the response carries the full result payload.
+    status, body = call(host, port, "POST", "/v1/compile", request)
+    metrics = body["result"]["metrics"]
+    print(
+        f"compile      : {status} cached={body['cached']} "
+        f"swaps={metrics['swaps']} depth={metrics['routed_depth']}"
+    )
+
+    # The identical request again: served from the warm cache, byte-identical.
+    status, body = call(host, port, "POST", "/v1/compile", request)
+    print(f"compile again: {status} cached={body['cached']}")
+
+    # Async: a 202 job handle now, the result when the job is done.
+    status, body = call(
+        host, port, "POST", "/v1/compile?async=1", dict(request, seed=1)
+    )
+    job_id = body["job"]["id"]
+    print(f"async submit : {status} {job_id} state={body['job']['state']}")
+    while True:
+        status, body = call(host, port, "GET", f"/v1/jobs/{job_id}")
+        state = body["job"]["state"]
+        if state in ("done", "failed"):
+            break
+        time.sleep(0.1)
+    print(f"async result : {status} state={state} ok={body['job']['response']['ok']}")
+
+    # Batch: one request per seed, structured per-slot results.
+    batch = {"requests": [dict(request, seed=seed) for seed in range(3)]}
+    status, body = call(host, port, "POST", "/v1/batch", batch)
+    failed = body["summary"]["failed"]
+    print(f"batch        : {status} slots={len(body['results'])} failed={failed}")
+
+    status, body = call(host, port, "GET", "/metrics")
+    counters = body["counters"]
+    print(
+        f"metrics      : executions={counters.get('executions', 0)} "
+        f"cache_hits={counters.get('cache_hits', 0)} "
+        f"coalesced={counters.get('coalesced', 0)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

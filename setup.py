@@ -1,4 +1,17 @@
-"""Setup shim so `pip install -e .` works without the `wheel` package installed."""
+"""Setup shim so `pip install -e .` works without the `wheel` package installed.
+
+The version is read from ``src/repro/_version.py`` (the single source also
+exposed as ``repro.__version__``) without importing the package, so building
+a wheel never requires the package's runtime dependencies.
+"""
+from pathlib import Path
+
 from setuptools import setup
 
-setup()
+_version_globals: dict = {}
+exec(
+    Path(__file__).parent.joinpath("src", "repro", "_version.py").read_text(),
+    _version_globals,
+)
+
+setup(version=_version_globals["__version__"])

@@ -59,7 +59,7 @@ from repro.api import (
     register_router,
 )
 
-__version__ = "1.1.0"
+from repro._version import __version__
 
 __all__ = [
     "QuantumCircuit",

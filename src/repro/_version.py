@@ -1,0 +1,9 @@
+"""The single source of the package version.
+
+Imported by :mod:`repro` (``repro.__version__``), read by ``setup.py`` at
+build time (without importing the package), reported by ``repro-map
+--version`` and embedded in the compile service's ``/healthz`` payload, so
+every surface that names a version names the same one.
+"""
+
+__version__ = "1.2.0"

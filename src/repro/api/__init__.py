@@ -85,6 +85,8 @@ from repro.api.cache import (
 from repro.api.serialize import (
     PAYLOAD_VERSION,
     SerializationError,
+    request_from_payload,
+    request_to_payload,
     result_from_payload,
     result_to_payload,
 )
@@ -114,6 +116,8 @@ __all__ = [
     "set_default_cache",
     "PAYLOAD_VERSION",
     "SerializationError",
+    "request_from_payload",
+    "request_to_payload",
     "result_from_payload",
     "result_to_payload",
     "load_circuit",

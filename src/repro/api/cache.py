@@ -38,6 +38,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
@@ -418,25 +419,55 @@ class CompileCache:
 
     # -- introspection / maintenance -----------------------------------------
 
-    def info(self) -> dict:
-        """Flat introspection record (used by ``repro-map cache info``)."""
+    def disk_stats(self) -> dict:
+        """Aggregate statistics of the disk tier (the ``cache info`` payload).
+
+        Reports total bytes, entry count and the age in seconds of the oldest
+        and newest entries (``None`` when the tier is disabled or empty).
+        Shared by ``repro-map cache info`` and the compile service's
+        ``/metrics`` endpoint, so both surfaces always agree.
+        """
         # The directory may be shared with concurrently clearing processes:
         # an entry unlinked between glob and stat is skipped, never raised.
-        disk_entries = 0
-        disk_bytes = 0
+        entries = 0
+        total_bytes = 0
+        oldest_mtime: float | None = None
+        newest_mtime: float | None = None
         for path in self._disk_entries():
             try:
-                disk_bytes += path.stat().st_size
+                stat = path.stat()
             except OSError:
                 continue
-            disk_entries += 1
+            entries += 1
+            total_bytes += stat.st_size
+            if oldest_mtime is None or stat.st_mtime < oldest_mtime:
+                oldest_mtime = stat.st_mtime
+            if newest_mtime is None or stat.st_mtime > newest_mtime:
+                newest_mtime = stat.st_mtime
+        now = time.time()
+        return {
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_age_seconds": (
+                max(0.0, round(now - oldest_mtime, 3)) if oldest_mtime is not None else None
+            ),
+            "newest_age_seconds": (
+                max(0.0, round(now - newest_mtime, 3)) if newest_mtime is not None else None
+            ),
+        }
+
+    def info(self) -> dict:
+        """Flat introspection record (used by ``repro-map cache info``)."""
+        disk = self.disk_stats()
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "memory_entries": len(self._memory),
             "max_memory_entries": self.max_memory_entries,
             "disk_dir": str(self.directory) if self.directory is not None else None,
-            "disk_entries": disk_entries,
-            "disk_bytes": disk_bytes,
+            "disk_entries": disk["entries"],
+            "disk_bytes": disk["bytes"],
+            "disk_oldest_age_seconds": disk["oldest_age_seconds"],
+            "disk_newest_age_seconds": disk["newest_age_seconds"],
             "stats": dict(self.stats),
         }
 

@@ -113,9 +113,17 @@ class CompileError(RuntimeError):
             "attempts": self.attempts,
         }
 
-    def describe(self) -> str:
-        """One-line human-readable summary (what the CLI prints)."""
-        digest = f", traceback {self.traceback_digest}" if self.traceback_digest else ""
+    def describe(self, verbose: bool = False) -> str:
+        """One-line human-readable summary (what the CLI prints).
+
+        The traceback digest is debugging detail, not user guidance: it only
+        appears when ``verbose`` is set (the CLI's ``-v/--verbose``).
+        """
+        digest = (
+            f", traceback {self.traceback_digest}"
+            if verbose and self.traceback_digest
+            else ""
+        )
         attempts = f" after {self.attempts} attempt(s)" if self.attempts != 1 else ""
         return (
             f"{self.exc_type} in {self.phase} pass{attempts}: {self.message}{digest}"

@@ -18,8 +18,13 @@ coupling graphs and in-memory circuits out of the payload entirely.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+from repro.api.request import CompileRequest, check_one_source
 from repro.api.result import CompileResult
 from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.coupling import CouplingGraph
 from repro.qasm.loader import circuit_from_qasm
 from repro.qasm.writer import circuit_to_qasm
 from repro.routing.result import RoutingResult
@@ -106,6 +111,123 @@ def routing_from_payload(payload: dict) -> RoutingResult:
         if isinstance(exc, SerializationError):
             raise
         raise SerializationError(f"invalid routing payload: {exc}") from exc
+
+
+#: Keys a serialized request payload may carry (anything else is rejected:
+#: a typo'd option silently dropped on the wire would compile the *wrong*
+#: request under the *right* fingerprint).
+REQUEST_PAYLOAD_KEYS = frozenset(
+    {
+        "version",
+        "generate",
+        "qasm",
+        "circuit",
+        "backend",
+        "router",
+        "seed",
+        "placement",
+        "placement_options",
+        "router_config",
+        "validation",
+        "label",
+    }
+)
+
+
+def _plain_json(value, field: str):
+    """Require ``value`` to survive a JSON round-trip unchanged-in-meaning."""
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"request field {field!r} is not JSON-serializable: {exc}"
+        ) from exc
+
+
+def request_to_payload(request: CompileRequest) -> dict:
+    """Encode a compile request as a JSON-safe wire payload.
+
+    The wire format covers everything a remote caller can express: a circuit
+    source (``generate`` spec, server-local ``qasm`` path, or an in-memory
+    circuit shipped as QASM text), a backend *name*, router, seed, placement
+    and validation.  Explicit :class:`CouplingGraph` backends and non-JSON
+    config objects are deliberately not wire-serializable -- they raise
+    :class:`SerializationError` instead of being silently dropped.
+    """
+    try:
+        check_one_source(request.circuit, request.qasm, request.generate)
+    except ValueError as exc:
+        raise SerializationError(str(exc)) from exc
+    if isinstance(request.backend, CouplingGraph):
+        raise SerializationError(
+            "explicit CouplingGraph backends are not wire-serializable; "
+            "pass a backend name"
+        )
+    payload: dict = {"version": PAYLOAD_VERSION}
+    if request.generate is not None:
+        payload["generate"] = str(request.generate)
+    elif request.qasm is not None:
+        payload["qasm"] = str(request.qasm)
+    else:
+        payload["circuit"] = circuit_to_payload(request.circuit)
+    payload.update(
+        backend=str(request.backend),
+        router=str(request.router),
+        seed=int(request.seed),
+        placement=str(request.placement),
+        placement_options=_plain_json(request.placement_options, "placement_options"),
+        router_config=_plain_json(request.router_config, "router_config"),
+        validation=str(request.validation),
+        label=request.label if request.label is None else str(request.label),
+    )
+    return payload
+
+
+def request_from_payload(payload: dict) -> CompileRequest:
+    """Rebuild a compile request from :func:`request_to_payload` output.
+
+    Unknown keys are rejected (never silently ignored) and a missing
+    ``version`` is treated as current, so hand-written client payloads stay
+    ergonomic while drifted ones fail loudly.
+    """
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"request payload must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - REQUEST_PAYLOAD_KEYS)
+    if unknown:
+        raise SerializationError(f"unknown request payload keys: {', '.join(unknown)}")
+    version = payload.get("version", PAYLOAD_VERSION)
+    if version != PAYLOAD_VERSION:
+        raise SerializationError(
+            f"request payload version {version!r} != supported {PAYLOAD_VERSION}"
+        )
+    sources = [key for key in ("generate", "qasm", "circuit") if key in payload]
+    if len(sources) != 1:
+        raise SerializationError(
+            "request payload must carry exactly one of generate=, qasm= or circuit="
+        )
+    circuit = None
+    if "circuit" in payload:
+        circuit = circuit_from_payload(payload["circuit"])
+    try:
+        return CompileRequest(
+            circuit=circuit,
+            qasm=Path(payload["qasm"]) if "qasm" in payload else None,
+            generate=payload.get("generate"),
+            backend=str(payload.get("backend", "sherbrooke")),
+            router=str(payload.get("router", "qlosure")),
+            seed=int(payload.get("seed", 0)),
+            placement=str(payload.get("placement", "identity")),
+            placement_options=dict(payload.get("placement_options") or {}),
+            router_config=payload.get("router_config"),
+            validation=str(payload.get("validation", "none")),
+            label=payload.get("label"),
+        )
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError(f"invalid request payload: {exc}") from exc
 
 
 def result_to_payload(result: CompileResult) -> dict:

@@ -12,7 +12,10 @@ Sub-commands:
 * ``bench``     run the routing perf smoke and write ``BENCH_routing.json``
   (the machine-readable perf trajectory; also ``make bench``),
 * ``cache``     inspect (``cache info``) or empty (``cache clear``) the
-  content-addressed compile cache.
+  content-addressed compile cache,
+* ``serve``     run the long-running async compile service (JSON over HTTP:
+  ``/v1/compile``, ``/v1/batch``, ``/v1/jobs/<id>``, ``/healthz``,
+  ``/metrics``, ``/admin/drain`` -- see :mod:`repro.serve`).
 
 ``map`` consults the compile cache by default (in-memory; ``--cache-dir
 DIR`` adds a persistent on-disk tier shared across runs, ``--no-cache``
@@ -49,6 +52,7 @@ from repro.api import (
     router_specs,
 )
 from repro.api.cache import CACHE_DIR_ENV
+from repro._version import __version__
 
 from repro.circuit.validation import RoutingValidationError
 from repro.hardware.backends import available_backends, backend_by_name
@@ -281,6 +285,19 @@ def _cache_for_inspection(args: argparse.Namespace) -> CompileCache:
     return CompileCache(directory=directory)
 
 
+def _format_age(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = float(seconds)
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86400:.1f} d"
+
+
 def _command_cache_info(args: argparse.Namespace) -> int:
     info = _cache_for_inspection(args).info()
     print(f"schema       : {info['schema']}")
@@ -291,7 +308,41 @@ def _command_cache_info(args: argparse.Namespace) -> int:
         print(f"disk dir     : {info['disk_dir']}")
         print(f"disk entries : {info['disk_entries']}")
         print(f"disk bytes   : {info['disk_bytes']}")
+        print(f"oldest entry : {_format_age(info['disk_oldest_age_seconds'])}")
+        print(f"newest entry : {_format_age(info['disk_newest_age_seconds'])}")
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, serve_forever
+
+    if args.workers < 1:
+        raise CompileError("repro-map serve: --workers must be at least 1")
+    if args.queue_size < 1:
+        raise CompileError("repro-map serve: --queue-size must be at least 1")
+    if args.timeout is not None and not args.timeout > 0:
+        raise CompileError(
+            "repro-map serve: --timeout must be a positive number of seconds"
+        )
+    if args.retries < 0:
+        raise CompileError("repro-map serve: --retries must be non-negative")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        timeout=args.timeout,
+        retries=args.retries,
+        faults=_parse_faults(args),
+    )
+
+    def _announce(port: int) -> None:
+        print(f"repro-serve {__version__} listening on http://{config.host}:{port}", flush=True)
+        print("endpoints    : POST /v1/compile  POST /v1/batch  GET /v1/jobs/<id>", flush=True)
+        print("               GET /healthz  GET /metrics  POST /admin/drain", flush=True)
+
+    return serve_forever(config, ready=_announce)
 
 
 def _command_cache_clear(args: argparse.Namespace) -> int:
@@ -309,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-map",
         description="Qlosure: dependence-driven quantum circuit mapping (CGO 2026 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-map {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="include debugging detail (e.g. traceback digests) in failure output",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -395,6 +453,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=Path, help="cache directory to clear"
     )
     cache_clear_parser.set_defaults(func=_command_cache_clear)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-running async compile service (JSON over HTTP)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8653, help="TCP port (0 binds an ephemeral port)"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent compile workers draining the request queue",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded request queue capacity (full queue answers 429 + Retry-After)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", type=Path,
+        help="persistent disk tier for the shared warm compile cache",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request wall-clock bound per attempt (enforced by worker isolation)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed request (deterministic seeded backoff)",
+    )
+    _add_fault_argument(serve_parser)
+    serve_parser.set_defaults(func=_command_serve)
     return parser
 
 
@@ -423,9 +513,14 @@ def main(argv: list[str] | None = None) -> int:
     except Exception as exc:
         # The CLI boundary: an unroutable circuit/backend pair (or any other
         # pipeline failure) surfaces as a structured one-line failure record,
-        # not a traceback dump.
+        # not a traceback dump.  The traceback digest is debugging detail and
+        # only appears under -v/--verbose.
         failure = CompileError.from_exception(exc)
-        print(f"repro-map: compile failed: {failure.describe()}", file=sys.stderr)
+        verbose = bool(getattr(args, "verbose", False))
+        print(
+            f"repro-map: compile failed: {failure.describe(verbose=verbose)}",
+            file=sys.stderr,
+        )
         return 1
 
 

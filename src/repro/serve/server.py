@@ -1,0 +1,570 @@
+"""``repro-serve``: the long-running async compile service.
+
+One process, one warm :class:`~repro.api.cache.CompileCache`, many requests.
+The service wraps the pure-function ``repro.api`` pipeline in an asyncio
+daemon speaking JSON over HTTP:
+
+* ``POST /v1/compile``      compile one request (``?async=1`` returns a job
+  handle instead of blocking),
+* ``POST /v1/batch``        compile a list via ``compile_many`` with
+  ``on_error="collect"`` (structured per-slot failures),
+* ``GET  /v1/jobs/<id>``    poll an async job,
+* ``GET  /healthz``         liveness + version,
+* ``GET  /metrics``         JSON counters, gauges, per-phase latency
+  histograms and the shared cache statistics,
+* ``POST /admin/drain``     graceful shutdown: finish in-flight work, reject
+  new work, exit 0.
+
+Architecture: admission is synchronous on the event-loop thread (decode ->
+fingerprint -> cache lookup -> coalesce-or-enqueue, with no await between
+the lookup and the registration, so coalescing has no race window); a bounded
+priority queue (:mod:`repro.serve.queue`) applies explicit backpressure
+(HTTP 429 + ``Retry-After`` when full); ``workers`` asyncio tasks drain the
+queue and run the blocking pipeline in a thread pool via
+``compile_many([request], workers=1, on_error="collect", ...)`` -- which is
+exactly the PR-6 fault-tolerant driver, so per-request timeouts, retries
+with deterministic backoff, worker-crash reaping and fault injection all
+come for free and behave identically to the CLI.
+
+Determinism makes the service semantics simple: a compile result is a pure
+function of its request, so identical in-flight requests legally **coalesce**
+onto one computation (every waiter gets the same bit-identical payload),
+retries are idempotent, and the served payload is byte-comparable to a
+direct :func:`repro.api.compile` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import math
+import time
+import urllib.parse
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro._version import __version__
+from repro.api.batch import compile_many
+from repro.api.cache import CompileCache, request_fingerprint
+from repro.api.request import CompileRequest
+from repro.api.result import CompileError, CompileResult
+from repro.api.serialize import result_to_payload
+from repro.serve.jobs import Job, JobTable
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    ProtocolError,
+    compile_error_body,
+    decode_batch_body,
+    decode_compile_body,
+    error_body,
+)
+from repro.serve.queue import BoundedPriorityQueue, QueueFull
+
+logger = logging.getLogger(__name__)
+
+#: Poll interval of the drain watcher (seconds).
+_DRAIN_POLL_SECONDS = 0.02
+
+
+@dataclass
+class ServeConfig:
+    """Configuration of one service instance (mirrors ``repro-map serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8653
+    workers: int = 1
+    queue_size: int = 64
+    cache_dir: str | None = None
+    cache_memory_entries: int = 1024
+    timeout: float | None = None
+    retries: int = 0
+    faults: object | None = None  # FaultPlan | None
+
+    def check(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {self.workers}")
+        if self.queue_size < 1:
+            raise ValueError(f"queue size must be at least 1, got {self.queue_size}")
+        if self.timeout is not None and not self.timeout > 0:
+            raise ValueError("timeout must be a positive number of seconds or None")
+        if self.retries < 0:
+            raise ValueError(f"retries must be non-negative, got {self.retries}")
+
+
+@dataclass
+class Response:
+    """One handler outcome: HTTP status, JSON body, extra headers."""
+
+    status: int
+    body: dict
+    headers: dict = field(default_factory=dict)
+
+
+class CompileService:
+    """The socket-free service core (handlers are directly testable)."""
+
+    def __init__(self, config: ServeConfig | None = None, cache: CompileCache | None = None):
+        self.config = config or ServeConfig()
+        self.config.check()
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = CompileCache(
+                max_memory_entries=self.config.cache_memory_entries,
+                directory=self.config.cache_dir,
+            )
+        self.metrics = ServeMetrics()
+        self.jobs = JobTable()
+        self.queue = BoundedPriorityQueue(self.config.queue_size)
+        self.draining = False
+        self.started = time.monotonic()
+        self._workers: list[asyncio.Task] = []
+        self._shutdown = asyncio.Event()
+        self._drain_watcher: asyncio.Task | None = None
+        #: Recent execution times, for the 429 Retry-After estimate.
+        self._recent_seconds: deque[float] = deque(maxlen=32)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._worker_loop(), name=f"repro-serve-worker-{n}")
+            for n in range(self.config.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel the worker tasks and the drain watcher."""
+        tasks = list(self._workers)
+        if self._drain_watcher is not None:
+            tasks.append(self._drain_watcher)
+        self._workers = []
+        self._drain_watcher = None
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def wait_for_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def handle(self, method: str, path: str, query: dict | None = None, body=None) -> Response:
+        """Route one request to its handler (the socket-free entry point)."""
+        query = query or {}
+        self.metrics.increment("http_requests")
+        try:
+            if path == "/healthz" and method == "GET":
+                return Response(200, self.healthz_payload())
+            if path == "/metrics" and method == "GET":
+                return Response(200, self.metrics_payload())
+            if path == "/v1/compile" and method == "POST":
+                return await self.handle_compile(
+                    body, wait=str(query.get("async", "")).lower() not in ("1", "true")
+                )
+            if path == "/v1/batch" and method == "POST":
+                return await self.handle_batch(body)
+            if path.startswith("/v1/jobs/") and method == "GET":
+                return self.handle_job(path[len("/v1/jobs/"):])
+            if path == "/admin/drain" and method == "POST":
+                return self.handle_drain()
+            if path in ("/healthz", "/metrics", "/v1/compile", "/v1/batch", "/admin/drain"):
+                self.metrics.increment("http_405")
+                return Response(405, error_body(f"method {method} not allowed for {path}"))
+            self.metrics.increment("http_404")
+            return Response(404, error_body(f"unknown path {path!r}"))
+        except ProtocolError as exc:
+            self.metrics.increment("http_400")
+            return Response(400, error_body(str(exc)))
+
+    # -- endpoint handlers ---------------------------------------------------
+
+    async def handle_compile(self, body, wait: bool = True) -> Response:
+        """``POST /v1/compile``: admit, coalesce or reject one request.
+
+        Admission is fully synchronous (no awaits) from decode through
+        registration, so two identical concurrent requests can never both
+        miss the in-flight table.
+        """
+        request, priority = decode_compile_body(body)
+        self.metrics.increment("compile_requests")
+        if self.draining:
+            self.metrics.increment("rejected_draining")
+            return Response(503, error_body("server is draining; not accepting new work"))
+        fingerprint = request_fingerprint(request)
+
+        hit = self.cache.lookup(fingerprint, request)
+        if hit is not None:
+            self.metrics.increment("cache_hits")
+            return Response(
+                200,
+                {
+                    "ok": True,
+                    "fingerprint": fingerprint,
+                    "cached": True,
+                    "result": result_to_payload(hit),
+                },
+            )
+        self.metrics.increment("cache_misses")
+
+        job = self.jobs.in_flight(fingerprint)
+        if job is not None:
+            # Identical request already queued or running: one computation,
+            # every waiter receives the same bit-identical payload.
+            job.coalesced += 1
+            self.metrics.increment("coalesced")
+        else:
+            job = self.jobs.create(fingerprint, priority, kind="compile")
+            try:
+                self.queue.put_nowait((job, request, time.monotonic()), priority)
+            except QueueFull:
+                self.jobs.finish(job, 429, error_body("queue full", kind="Backpressure"))
+                self.metrics.increment("rejected_busy")
+                return Response(
+                    429,
+                    error_body(
+                        f"compile queue full ({self.queue.maxsize} entries); retry later",
+                        kind="Backpressure",
+                    ),
+                    headers={"Retry-After": str(self._retry_after_seconds())},
+                )
+        if not wait:
+            return Response(202, {"ok": True, "job": job.payload()})
+        status, response = await asyncio.shield(job.future)
+        return Response(status, response)
+
+    async def handle_batch(self, body) -> Response:
+        """``POST /v1/batch``: one queue slot, ``compile_many`` underneath.
+
+        The whole batch is admitted as a single job so backpressure and drain
+        cover it, and it maps to ``compile_many(..., on_error="collect")`` --
+        a failing slot arrives as a structured error in position while its
+        siblings stay bit-identical to a clean run.
+        """
+        requests, priority = decode_batch_body(body)
+        self.metrics.increment("batch_requests")
+        if self.draining:
+            self.metrics.increment("rejected_draining")
+            return Response(503, error_body("server is draining; not accepting new work"))
+        job = self.jobs.create(None, priority, kind="batch")
+        try:
+            self.queue.put_nowait((job, requests, time.monotonic()), priority)
+        except QueueFull:
+            self.jobs.finish(job, 429, error_body("queue full", kind="Backpressure"))
+            self.metrics.increment("rejected_busy")
+            return Response(
+                429,
+                error_body(
+                    f"compile queue full ({self.queue.maxsize} entries); retry later",
+                    kind="Backpressure",
+                ),
+                headers={"Retry-After": str(self._retry_after_seconds())},
+            )
+        status, response = await asyncio.shield(job.future)
+        return Response(status, response)
+
+    def handle_job(self, job_id: str) -> Response:
+        self.metrics.increment("job_lookups")
+        job = self.jobs.get(job_id)
+        if job is None:
+            return Response(404, error_body(f"unknown job {job_id!r}", kind="UnknownJob"))
+        return Response(200, {"ok": True, "job": job.payload()})
+
+    def handle_drain(self) -> Response:
+        """``POST /admin/drain``: finish in-flight work, reject new, exit 0."""
+        self.metrics.increment("drain_requests")
+        if not self.draining:
+            self.draining = True
+            self._drain_watcher = asyncio.create_task(
+                self._watch_drain(), name="repro-serve-drain"
+            )
+        return Response(
+            202,
+            {
+                "ok": True,
+                "draining": True,
+                "pending": self.queue.qsize() + self.jobs.running_count(),
+            },
+        )
+
+    def healthz_payload(self) -> dict:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "workers": self.config.workers,
+            "queue": {"depth": self.queue.qsize(), "maxsize": self.queue.maxsize},
+            "jobs": self.jobs.counts(),
+        }
+
+    def metrics_payload(self) -> dict:
+        snapshot = self.metrics.snapshot(
+            gauges={
+                "queue_depth": self.queue.qsize(),
+                "queue_maxsize": self.queue.maxsize,
+                "in_flight": self.jobs.in_flight_count(),
+                "running": self.jobs.running_count(),
+                "draining": self.draining,
+            }
+        )
+        # The same stats helper `repro-map cache info` prints: the service's
+        # warm cache is the whole point of running a daemon, so its hit/miss
+        # counters and disk-tier stats are first-class metrics.
+        snapshot["cache"] = self.cache.info()
+        snapshot["version"] = __version__
+        return snapshot
+
+    # -- execution -----------------------------------------------------------
+
+    def _retry_after_seconds(self) -> int:
+        """A ``Retry-After`` hint: queue depth x recent mean execution time."""
+        if self._recent_seconds:
+            mean = sum(self._recent_seconds) / len(self._recent_seconds)
+        else:
+            mean = 1.0
+        backlog = self.queue.qsize() + self.jobs.running_count()
+        return max(1, math.ceil(backlog * mean / max(1, self.config.workers)))
+
+    async def _worker_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job, work, enqueued_at = await self.queue.get()
+            job.state = "running"
+            started = time.monotonic()
+            self.metrics.observe("queue_wait", started - enqueued_at)
+            try:
+                if job.kind == "batch":
+                    runner = self._run_batch
+                else:
+                    runner = self._run_compile
+                status, response = await loop.run_in_executor(None, runner, work)
+            except Exception as exc:  # the executor call itself failed
+                logger.exception("worker execution failed for %s", job.id)
+                status, response = compile_error_body(CompileError.from_exception(exc))
+            elapsed = time.monotonic() - started
+            self._recent_seconds.append(elapsed)
+            self.metrics.observe("total", elapsed)
+            if status < 400:
+                self.metrics.increment("executions")
+            else:
+                self.metrics.increment("failures")
+            self.jobs.finish(job, status, response)
+
+    def _run_compile(self, request: CompileRequest) -> tuple[int, dict]:
+        """Run one compile in the worker thread (the blocking hot path).
+
+        Uses the PR-6 fault-tolerant batch driver for a single request, so
+        the service's ``--timeout``/``--retries``/``--inject-faults`` behave
+        exactly like ``repro-map bench``'s, and every failure arrives as a
+        structured :class:`CompileError` -- never as a dropped connection.
+        """
+        batch = compile_many(
+            [request],
+            workers=1,
+            cache=self.cache,
+            on_error="collect",
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+            faults=self.config.faults,
+        )
+        outcome = batch.results[0]
+        if isinstance(outcome, CompileResult):
+            self._observe_pass_timings(outcome)
+            return 200, {
+                "ok": True,
+                "fingerprint": request_fingerprint(request),
+                "cached": False,
+                "result": result_to_payload(outcome),
+            }
+        return compile_error_body(outcome)
+
+    def _run_batch(self, requests: list[CompileRequest]) -> tuple[int, dict]:
+        batch = compile_many(
+            requests,
+            workers=1,
+            cache=self.cache,
+            on_error="collect",
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+            faults=self.config.faults,
+        )
+        results = []
+        for outcome in batch.results:
+            if isinstance(outcome, CompileResult):
+                self._observe_pass_timings(outcome)
+                results.append({"ok": True, "result": result_to_payload(outcome)})
+            else:
+                results.append({"ok": False, "error": outcome.summary()})
+        body = {
+            "ok": batch.ok,
+            "results": results,
+            "summary": {
+                "requests": len(batch),
+                "failed": len(batch.errors),
+                "cache": {"hits": batch.cache_hits, "misses": batch.cache_misses},
+            },
+        }
+        # A partially-failed batch is still a *served* batch: the slot errors
+        # are the payload, so the HTTP exchange itself succeeded (200).
+        return 200, body
+
+    def _observe_pass_timings(self, result: CompileResult) -> None:
+        for phase, seconds in result.pass_timings.items():
+            self.metrics.observe(f"pass_{phase}", seconds)
+
+    async def _watch_drain(self) -> None:
+        """Resolve the shutdown event once every admitted job has finished."""
+        while self.queue.qsize() or self.jobs.in_flight_count():
+            await asyncio.sleep(_DRAIN_POLL_SECONDS)
+        self._shutdown.set()
+
+
+# ---------------------------------------------------------------------------
+# The HTTP front-end (a deliberately minimal HTTP/1.1 JSON server)
+# ---------------------------------------------------------------------------
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+_STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _encode_response(response: Response) -> bytes:
+    body = json.dumps(response.body, sort_keys=True).encode()
+    reason = _STATUS_REASONS.get(response.status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    headers.extend(f"{name}: {value}" for name, value in response.headers.items())
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+async def _read_request(reader) -> tuple[str, str, dict, object] | None:
+    """Parse one HTTP/1.1 request: ``(method, path, query, json_body)``.
+
+    Returns ``None`` on a cleanly closed connection; raises
+    :class:`ProtocolError` on anything malformed.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _ = request_line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        raise ProtocolError("malformed HTTP request line") from None
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise ProtocolError("malformed Content-Length header") from None
+    if content_length > _MAX_BODY_BYTES:
+        raise ProtocolError(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+    raw_body = await reader.readexactly(content_length) if content_length else b""
+    path, _, query_string = target.partition("?")
+    query = {
+        key: values[-1]
+        for key, values in urllib.parse.parse_qs(query_string).items()
+    }
+    body = None
+    if raw_body:
+        try:
+            body = json.loads(raw_body)
+        except ValueError as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    return method.upper(), urllib.parse.unquote(path), query, body
+
+
+async def run_server(
+    config: ServeConfig,
+    service: CompileService | None = None,
+    ready=None,
+) -> int:
+    """Run the service until drained (returns 0) or cancelled.
+
+    ``ready`` is called with the actually bound port once the listener is
+    up (``port=0`` binds an ephemeral port), which is how tests and the CLI
+    learn the address before the first request.
+    """
+    service = service or CompileService(config)
+    await service.start()
+    connections: set[asyncio.Task] = set()
+
+    async def _handle_connection(reader, writer):
+        task = asyncio.current_task()
+        if task is not None:
+            connections.add(task)
+            task.add_done_callback(connections.discard)
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                return
+            method, path, query, body = parsed
+            response = await service.handle(method, path, query, body)
+        except ProtocolError as exc:
+            response = Response(400, error_body(str(exc)))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return
+        except Exception as exc:  # never let a handler bug drop a connection
+            logger.exception("unhandled error serving a request")
+            response = Response(
+                500, error_body(str(exc) or type(exc).__name__, kind=type(exc).__name__)
+            )
+        try:
+            writer.write(_encode_response(response))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    server = await asyncio.start_server(_handle_connection, config.host, config.port)
+    bound_port = server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(bound_port)
+    logger.info("repro-serve listening on %s:%d", config.host, bound_port)
+    try:
+        async with server:
+            await service.wait_for_shutdown()
+            # Let in-flight responses (including the drain acknowledgement
+            # itself) flush before the listener and loop go away.
+            if connections:
+                await asyncio.wait(set(connections), timeout=5)
+    finally:
+        await service.stop()
+    return 0
+
+
+def serve_forever(config: ServeConfig, ready=None) -> int:
+    """Blocking entry point (what ``repro-map serve`` calls)."""
+    try:
+        return asyncio.run(run_server(config, ready=ready))
+    except KeyboardInterrupt:
+        return 0

@@ -1,0 +1,158 @@
+"""Tests for the wire protocol: request codecs and error mapping."""
+
+import pytest
+
+from repro.api import CompileRequest, request_from_payload, request_to_payload
+from repro.api.cache import request_fingerprint
+from repro.api.result import CompileError
+from repro.api.serialize import SerializationError
+from repro.benchgen.qasmbench import ghz_circuit
+from repro.hardware.topologies import line_topology
+from repro.serve.protocol import (
+    ProtocolError,
+    compile_error_body,
+    decode_batch_body,
+    decode_compile_body,
+    error_body,
+)
+
+
+class TestRequestPayloadRoundTrip:
+    def test_generate_request_round_trips(self):
+        request = CompileRequest(
+            generate="qft:8", backend="ankaa3", router="sabre", seed=7,
+            validation="full", label="probe",
+        )
+        rebuilt = request_from_payload(request_to_payload(request))
+        assert rebuilt == request
+        assert request_fingerprint(rebuilt) == request_fingerprint(request)
+
+    def test_qasm_path_request_round_trips(self, tmp_path):
+        path = tmp_path / "c.qasm"
+        request = CompileRequest(qasm=path, backend="sherbrooke", router="greedy")
+        rebuilt = request_from_payload(request_to_payload(request))
+        assert str(rebuilt.qasm) == str(path)
+        assert rebuilt.router == "greedy"
+
+    def test_in_memory_circuit_ships_as_qasm_text(self):
+        request = CompileRequest(circuit=ghz_circuit(6), backend="ankaa3", router="greedy")
+        payload = request_to_payload(request)
+        assert "qasm" in payload["circuit"]
+        rebuilt = request_from_payload(payload)
+        # Content-addressing makes equality checkable without gate-by-gate
+        # comparison: equal circuits fingerprint identically.
+        assert request_fingerprint(rebuilt) == request_fingerprint(request)
+
+    def test_alias_router_fingerprints_identically_after_round_trip(self):
+        request = CompileRequest(generate="ghz:6", router="pytket")
+        rebuilt = request_from_payload(request_to_payload(request))
+        assert request_fingerprint(rebuilt) == request_fingerprint(request)
+
+
+class TestRequestPayloadRejections:
+    def test_unknown_keys_are_rejected(self):
+        with pytest.raises(SerializationError, match="unknown request payload keys"):
+            request_from_payload({"generate": "ghz:4", "sede": 3})
+
+    def test_zero_or_two_sources_are_rejected(self):
+        with pytest.raises(SerializationError, match="exactly one"):
+            request_from_payload({"backend": "ankaa3"})
+        with pytest.raises(SerializationError, match="exactly one"):
+            request_from_payload({"generate": "ghz:4", "qasm": "x.qasm"})
+
+    def test_coupling_graph_backend_is_not_wire_serializable(self):
+        request = CompileRequest(generate="ghz:4", backend=line_topology(5))
+        with pytest.raises(SerializationError, match="CouplingGraph"):
+            request_to_payload(request)
+
+    def test_non_json_router_config_is_rejected(self):
+        from repro.core.config import QlosureConfig
+
+        request = CompileRequest(generate="ghz:4", router_config=QlosureConfig())
+        with pytest.raises(SerializationError, match="router_config"):
+            request_to_payload(request)
+
+    def test_version_mismatch_is_rejected(self):
+        with pytest.raises(SerializationError, match="version"):
+            request_from_payload({"generate": "ghz:4", "version": 999})
+
+    def test_missing_version_defaults_to_current(self):
+        rebuilt = request_from_payload({"generate": "ghz:4"})
+        assert rebuilt.generate == "ghz:4"
+
+
+class TestDecodeCompileBody:
+    def test_happy_path_with_priority(self):
+        request, priority = decode_compile_body(
+            {"generate": "ghz:6", "router": "greedy", "priority": -2}
+        )
+        assert request.router == "greedy"
+        assert priority == -2
+
+    def test_priority_defaults_to_zero(self):
+        _, priority = decode_compile_body({"generate": "ghz:6"})
+        assert priority == 0
+
+    def test_non_object_body_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_compile_body([1, 2, 3])
+        with pytest.raises(ProtocolError):
+            decode_compile_body(None)
+
+    def test_non_integer_priority_is_rejected(self):
+        with pytest.raises(ProtocolError, match="priority"):
+            decode_compile_body({"generate": "ghz:6", "priority": "high"})
+        with pytest.raises(ProtocolError, match="priority"):
+            decode_compile_body({"generate": "ghz:6", "priority": True})
+
+    def test_unknown_router_rejected_at_admission(self):
+        with pytest.raises(ProtocolError, match="unknown router"):
+            decode_compile_body({"generate": "ghz:6", "router": "nope"})
+
+    def test_unknown_backend_rejected_at_admission(self):
+        with pytest.raises(ProtocolError, match="unknown backend"):
+            decode_compile_body({"generate": "ghz:6", "backend": "nope"})
+
+    def test_invalid_validation_level_rejected_at_admission(self):
+        with pytest.raises(ProtocolError, match="validation"):
+            decode_compile_body({"generate": "ghz:6", "validation": "paranoid"})
+
+
+class TestDecodeBatchBody:
+    def test_happy_path(self):
+        requests, priority = decode_batch_body(
+            {"requests": [{"generate": f"ghz:{n}"} for n in (4, 5)], "priority": 1}
+        )
+        assert [r.generate for r in requests] == ["ghz:4", "ghz:5"]
+        assert priority == 1
+
+    def test_empty_or_missing_requests_rejected(self):
+        with pytest.raises(ProtocolError, match="requests"):
+            decode_batch_body({})
+        with pytest.raises(ProtocolError, match="requests"):
+            decode_batch_body({"requests": []})
+
+    def test_failing_entry_names_its_index(self):
+        with pytest.raises(ProtocolError, match="batch request 1"):
+            decode_batch_body(
+                {"requests": [{"generate": "ghz:4"}, {"router": "nope", "generate": "ghz:4"}]}
+            )
+
+
+class TestErrorMapping:
+    def test_client_phases_map_to_400(self):
+        for phase in ("request", "load", "protocol"):
+            status, body = compile_error_body(CompileError("bad", phase=phase))
+            assert status == 400
+            assert body["error"]["phase"] == phase
+
+    def test_pipeline_phases_map_to_500(self):
+        for phase in ("place", "route", "validate", "metrics", "worker", "inject"):
+            status, body = compile_error_body(CompileError("boom", phase=phase))
+            assert status == 500
+            assert body["ok"] is False
+
+    def test_error_body_shape_matches_compile_error_summary(self):
+        status, from_error = compile_error_body(CompileError("x", phase="route"))
+        synthetic = error_body("x")
+        assert set(from_error["error"]) == set(synthetic["error"])

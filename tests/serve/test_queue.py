@@ -1,0 +1,125 @@
+"""Tests for the bounded priority queue (the service's admission point)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import BoundedPriorityQueue, QueueFull
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOrdering:
+    def test_fifo_within_one_priority(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(8)
+            for item in ("a", "b", "c"):
+                queue.put_nowait(item)
+            return [await queue.get() for _ in range(3)]
+
+        assert run(scenario()) == ["a", "b", "c"]
+
+    def test_lower_priority_value_dequeues_first(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(8)
+            queue.put_nowait("low", priority=10)
+            queue.put_nowait("high", priority=-5)
+            queue.put_nowait("mid", priority=0)
+            return [await queue.get() for _ in range(3)]
+
+        assert run(scenario()) == ["high", "mid", "low"]
+
+    def test_ties_break_by_arrival_order(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(8)
+            queue.put_nowait("first", priority=3)
+            queue.put_nowait("urgent", priority=0)
+            queue.put_nowait("second", priority=3)
+            return [await queue.get() for _ in range(3)]
+
+        assert run(scenario()) == ["urgent", "first", "second"]
+
+    def test_same_schedule_dequeues_identically_twice(self):
+        # Scheduling is deterministic: the same enqueue order produces the
+        # same dequeue order on every run.
+        async def scenario():
+            queue = BoundedPriorityQueue(16)
+            for index in range(10):
+                queue.put_nowait(f"job-{index}", priority=index % 3)
+            return [await queue.get() for _ in range(10)]
+
+        assert run(scenario()) == run(scenario())
+
+
+class TestBackpressure:
+    def test_put_nowait_raises_queue_full(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(2)
+            queue.put_nowait("a")
+            queue.put_nowait("b")
+            assert queue.full
+            with pytest.raises(QueueFull) as info:
+                queue.put_nowait("c")
+            assert info.value.maxsize == 2
+            return queue.qsize()
+
+        assert run(scenario()) == 2
+
+    def test_dequeue_frees_capacity(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(1)
+            queue.put_nowait("a")
+            assert await queue.get() == "a"
+            queue.put_nowait("b")  # does not raise
+            return await queue.get()
+
+        assert run(scenario()) == "b"
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(0)
+
+
+class TestAsyncGet:
+    def test_get_waits_for_put(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(4)
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                queue.put_nowait("late")
+
+            task = asyncio.create_task(producer())
+            item = await asyncio.wait_for(queue.get(), timeout=2)
+            await task
+            return item
+
+        assert run(scenario()) == "late"
+
+    def test_cancelled_getter_does_not_strand_items(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(4)
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0)  # let the getter park
+            getter.cancel()
+            try:
+                await getter
+            except asyncio.CancelledError:
+                pass
+            queue.put_nowait("x")
+            return await asyncio.wait_for(queue.get(), timeout=2)
+
+        assert run(scenario()) == "x"
+
+    def test_two_getters_each_receive_one_item(self):
+        async def scenario():
+            queue = BoundedPriorityQueue(4)
+            getters = [asyncio.create_task(queue.get()) for _ in range(2)]
+            await asyncio.sleep(0)
+            queue.put_nowait("a")
+            queue.put_nowait("b")
+            return sorted(await asyncio.gather(*getters))
+
+        assert run(scenario()) == ["a", "b"]

@@ -282,3 +282,97 @@ class TestCacheCommand:
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["cache"])
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_single_source_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-map {__version__}"
+
+    def test_package_and_setup_agree(self):
+        # repro.__version__, repro._version and /healthz all read one file.
+        from repro import __version__
+        from repro._version import __version__ as source
+
+        assert __version__ == source
+
+
+class TestVerboseDigest:
+    """Regression: the traceback digest is debugging detail -- it must only
+    appear in compile-failure output under ``-v/--verbose``."""
+
+    QASM = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\ncx q[0],q[0];\n'
+
+    def test_default_failure_output_has_no_digest(self, capsys, tmp_path):
+        qasm = tmp_path / "selfloop.qasm"
+        qasm.write_text(self.QASM)
+        assert main(["map", "--qasm", str(qasm), "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "repro-map: compile failed:" in err
+        assert "traceback" not in err
+
+    def test_verbose_failure_output_includes_digest(self, capsys, tmp_path):
+        qasm = tmp_path / "selfloop.qasm"
+        qasm.write_text(self.QASM)
+        assert main(["-v", "map", "--qasm", str(qasm), "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "repro-map: compile failed:" in err
+        assert "traceback " in err
+
+
+class TestCacheInfoAges:
+    def test_cache_info_reports_entry_ages(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(TestCacheFlags.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "disk bytes   :" in out
+        assert "oldest entry :" in out
+        assert "newest entry :" in out
+
+    def test_empty_cache_info_shows_placeholder_ages(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries : 0" in out
+        assert "oldest entry : -" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8653
+        assert args.workers == 1
+        assert args.queue_size == 64
+        assert args.cache_dir is None
+        assert args.timeout is None
+        assert args.retries == 0
+
+    def test_serve_rejects_bad_worker_count(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_rejects_bad_queue_size(self, capsys):
+        assert main(["serve", "--queue-size", "0"]) == 2
+        assert "--queue-size" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_timeout(self, capsys):
+        assert main(["serve", "--timeout", "0"]) == 2
+        assert "--timeout" in capsys.readouterr().err
+
+    def test_serve_rejects_negative_retries(self, capsys):
+        assert main(["serve", "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_serve_accepts_fault_plan_syntax(self):
+        args = build_parser().parse_args(["serve", "--inject-faults", "*:exception"])
+        assert args.inject_faults == "*:exception"
