@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-golden test-cache test-faults test-serve bench serve check
+.PHONY: test test-fast test-golden test-cache test-cache-store test-faults test-serve bench serve check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
@@ -24,6 +24,16 @@ test-golden:
 test-cache:
 	$(PYTHON) -m pytest tests/api/test_serialize.py tests/api/test_fingerprint.py \
 		tests/api/test_cache.py tests/analysis/test_perf_trajectory.py -q
+
+## Bounded piece-store battery: shard layout + per-shard indexes, max_bytes/
+## max_entries LRU eviction invariants (including seeded random
+## interleavings), index<->directory crash consistency (torn lines, orphans,
+## stale records), warm==cold bit-for-bit under eviction pressure, readonly
+## fleet mode racing a live writer, the vanishing-entry-mid-scan regression,
+## and transparent migration of pre-shard flat directories (golden fixture
+## under tests/data/cache_legacy/).
+test-cache-store:
+	$(PYTHON) -m pytest tests/api/test_cache_store.py tests/serve/test_serve_cache.py -q
 
 ## Fault-injection suite: structured per-request failures (on_error="collect"),
 ## timeouts, retries with deterministic seeded backoff, worker-crash
@@ -55,12 +65,13 @@ bench:
 
 ## Pre-commit gate: golden determinism snapshots first (a routed-output
 ## regression fails in seconds, before the slow suite), then the compile-cache
-## battery, then the fault-injection suite, then the compile-service suite,
+## battery, then the bounded piece-store battery, then the fault-injection
+## suite, then the compile-service suite,
 ## then tier-1 tests, then a CLI smoke of the public surface
 ## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
 ## the compile_many batch driver on a reduced fixture, run twice against one
 ## --cache-dir so the second run exercises warm disk hits end to end).
-check: test-golden test-cache test-faults test-serve test
+check: test-golden test-cache test-cache-store test-faults test-serve test
 	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
 	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
 	rm -rf $(or $(TMPDIR),/tmp)/repro-cache-check

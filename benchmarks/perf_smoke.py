@@ -83,6 +83,18 @@ def main(argv: list[str] | None = None) -> int:
         help="persist cache entries in this directory (a re-run then hits)",
     )
     parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="bound the disk cache to N bytes (LRU eviction; requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="bound the disk cache to N entries (LRU eviction; requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-readonly", action="store_true",
+        help="open the cache directory read-only (serve hits, never write or evict)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-request wall-clock bound per attempt",
     )
@@ -104,6 +116,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--retries must be non-negative")
     if not args.cache and args.cache_dir is not None:
         parser.error("--no-cache and --cache-dir are mutually exclusive")
+    if args.cache_dir is None and (
+        args.cache_max_bytes is not None
+        or args.cache_max_entries is not None
+        or args.cache_readonly
+    ):
+        parser.error(
+            "--cache-max-bytes/--cache-max-entries/--cache-readonly require --cache-dir"
+        )
+    for flag in ("cache_max_bytes", "cache_max_entries"):
+        value = getattr(args, flag)
+        if value is not None and value < 1:
+            parser.error(f"--{flag.replace('_', '-')} must be a positive integer")
     faults = None
     if args.inject_faults is not None:
         from repro.api.faults import FaultPlan
@@ -125,6 +149,9 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_entries=args.cache_max_entries,
+        cache_readonly=args.cache_readonly,
         timeout=args.timeout,
         retries=args.retries,
         faults=faults,

@@ -82,6 +82,9 @@ def run_perf_smoke(
     quick: bool = False,
     cache: bool = True,
     cache_dir=None,
+    cache_max_bytes=None,
+    cache_max_entries=None,
+    cache_readonly: bool = False,
     timeout=None,
     retries: int = 0,
     faults=None,
@@ -115,10 +118,23 @@ def run_perf_smoke(
         raise ValueError("workers must be at least 1")
     if not cache and cache_dir is not None:
         raise ValueError("cache_dir has no effect with caching disabled")
+    if cache_dir is None and (
+        cache_max_bytes is not None or cache_max_entries is not None or cache_readonly
+    ):
+        raise ValueError(
+            "cache_max_bytes/cache_max_entries/cache_readonly require cache_dir"
+        )
     from repro.api.cache import CompileCache
 
     cache_store = (
-        CompileCache(directory=cache_dir) if (cache and cache_dir is not None) else None
+        CompileCache(
+            directory=cache_dir,
+            max_bytes=cache_max_bytes,
+            max_entries=cache_max_entries,
+            readonly=cache_readonly,
+        )
+        if (cache and cache_dir is not None)
+        else None
     )
     backend = sherbrooke()
     requests = smoke_requests(backend, rounds=rounds, quick=quick)
@@ -152,6 +168,11 @@ def run_perf_smoke(
             "dir": str(cache_dir) if cache_dir is not None else None,
             "hits": batch.cache_hits,
             "misses": batch.cache_misses,
+            "max_bytes": cache_max_bytes,
+            "max_entries": cache_max_entries,
+            "readonly": bool(cache_readonly),
+            "evictions": cache_store.stats["evictions"] if cache_store else 0,
+            "evicted_bytes": cache_store.stats["evicted_bytes"] if cache_store else 0,
         },
         # Unlike the cache section this one DOES gate: quality_regressions
         # rejects any record with a non-empty failures list.
@@ -170,6 +191,9 @@ def write_perf_smoke(
     quick: bool = False,
     cache: bool = True,
     cache_dir=None,
+    cache_max_bytes=None,
+    cache_max_entries=None,
+    cache_readonly: bool = False,
     timeout=None,
     retries: int = 0,
     faults=None,
@@ -181,6 +205,9 @@ def write_perf_smoke(
         quick=quick,
         cache=cache,
         cache_dir=cache_dir,
+        cache_max_bytes=cache_max_bytes,
+        cache_max_entries=cache_max_entries,
+        cache_readonly=cache_readonly,
         timeout=timeout,
         retries=retries,
         faults=faults,

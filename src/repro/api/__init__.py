@@ -34,8 +34,9 @@ Contents:
   registry all routers announce themselves to,
 * :mod:`~repro.api.cache` -- the content-addressed compile cache
   (:func:`request_fingerprint` + :class:`CompileCache`, in-memory LRU by
-  default, on-disk JSON store opt-in) backed by the
-  :mod:`~repro.api.serialize` payload round-trip.
+  default; the opt-in disk tier is a bounded, sharded piece store with
+  per-shard indexes, LRU eviction and a ``readonly=`` fleet mode) backed
+  by the :mod:`~repro.api.serialize` payload round-trip.
 
 Routed outputs are bit-for-bit reproducible: one request, one circuit,
 independent of worker count or scheduling.
@@ -76,6 +77,8 @@ from repro.api.faults import (
 )
 from repro.api.cache import (
     CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
+    CACHE_MAX_ENTRIES_ENV,
     CACHE_SCHEMA_VERSION,
     CompileCache,
     default_cache,
@@ -109,6 +112,8 @@ __all__ = [
     "InjectedFault",
     "deterministic_backoff",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
+    "CACHE_MAX_ENTRIES_ENV",
     "CACHE_SCHEMA_VERSION",
     "CompileCache",
     "default_cache",

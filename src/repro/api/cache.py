@@ -12,21 +12,52 @@ name and its resolved graph fingerprint identically, configs digested field
 by field -- and :class:`CompileCache` keys a two-tier store on it:
 
 * an in-process LRU of payloads (fast, per-process, on by default), and
-* an optional on-disk JSON store (one ``<fingerprint>.json`` per entry,
-  atomic writes, schema/version stamped) shared across processes and runs.
+* an optional on-disk **sharded piece store** shared across processes and
+  runs.
+
+The disk tier is a bounded, shareable piece store:
+
+* **Sharding** -- entries live under two-hex fingerprint-prefix shard
+  directories (``<dir>/ab/<fingerprint>.json``), so a populated cache
+  directory can be split or synced per shard.
+* **Per-shard index** -- every shard carries an append-only ``index.jsonl``
+  of ``put``/``touch`` records (fingerprint, size, schema version, created
+  and last-access stamps, a monotonic access sequence).  The *directory* is
+  always the source of truth: index metadata is reconciled against the
+  actual entry files on load, so a torn index line or an index/payload
+  mismatch degrades gracefully and is compacted away on the next write.
+* **Bounds** -- ``max_bytes``/``max_entries`` cap the store globally; going
+  over evicts least-recently-used entries in a deterministic victim order
+  (ascending access sequence, fingerprint tie-break) as one batch, with an
+  atomic rewrite of each affected shard index.
+* **Integrity on read** -- entries embed a payload digest and the index
+  records their size; a digest or size mismatch is logged and served as a
+  recomputed miss, exactly like the corrupt-entry path.
+* **Read-only fleet mode** -- ``readonly=True`` opens a populated directory
+  without ever writing (no entries, no index appends, no eviction), so one
+  warm store can be mounted into many ``repro-serve`` workers without write
+  contention.  The single-writer/many-reader split is the supported sharing
+  model.
+
+A pre-sharding flat cache directory (``<dir>/<fingerprint>.json``) is
+adopted transparently: flat entries are served in place and resharded (moved
+into their shard directory and indexed) on the first write.
 
 Both tiers store the *serialized* payload (:mod:`repro.api.serialize`) and
 rehydrate on every hit, so a cached result is always a fresh object built
 through the same round-trip the test battery pins as exact.  Corrupted,
 truncated or version-mismatched disk entries are logged and treated as
-misses -- the cache never raises on bad persisted state.
+misses -- the cache never raises on bad persisted state, and caching only
+ever changes hit rates, never a single routed bit.
 
 That degrade-to-miss contract is testable: a cache constructed with a
 ``fault_plan`` (:class:`~repro.api.faults.FaultPlan`) simulates disk-tier
 failures -- ``ENOSPC``/permission-denied on write, torn partial writes,
-post-write corruption, permission-denied on read -- at deterministic
-fingerprint-keyed points, and every one of them must surface as a recomputed
-miss, never as an exception reaching the caller.
+post-write corruption, permission-denied on read, torn index appends, stale
+index entries and entries evicted between index read and payload open -- at
+deterministic fingerprint-keyed points, and every one of them must surface
+as a recomputed miss (or an untouched hit), never as an exception reaching
+the caller.
 """
 
 from __future__ import annotations
@@ -37,6 +68,7 @@ import hashlib
 import json
 import logging
 import os
+import re
 import tempfile
 import time
 from collections import OrderedDict
@@ -62,9 +94,24 @@ CACHE_SCHEMA_VERSION = 1
 
 #: Environment variable enabling the disk tier of the process default cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variables bounding the disk tier of the process default cache.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
 
 #: Default capacity of the in-process LRU tier.
 DEFAULT_MEMORY_ENTRIES = 256
+
+#: Per-shard append-only index file name (JSON lines).
+INDEX_NAME = "index.jsonl"
+#: Store-level metadata file (persisted eviction counters + sequence floor).
+META_NAME = "_meta.json"
+
+#: Age-histogram bucket upper bounds in seconds (the last bucket is open).
+AGE_BUCKET_BOUNDS = (60.0, 3600.0, 86400.0, 604800.0)
+_AGE_BUCKET_LABELS = ("<=1m", "<=1h", "<=1d", "<=7d", ">7d")
+
+_SHARD_RE = re.compile(r"^[0-9a-f]{2}$")
+_ENTRY_RE = re.compile(r"^[0-9a-f]{64}\.json$")
 
 
 # ---------------------------------------------------------------------------
@@ -222,6 +269,64 @@ def request_fingerprint(request: CompileRequest) -> str:
     return _sha256(_canonical_json(record))
 
 
+def payload_digest(payload: dict) -> str:
+    """The integrity digest embedded in (and verified against) disk entries."""
+    return _sha256(_canonical_json(payload))
+
+
+# ---------------------------------------------------------------------------
+# The sharded disk catalog
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _CatalogEntry:
+    """One disk entry as the writer's in-memory catalog sees it.
+
+    ``size`` is the actual payload file size (the directory is truth);
+    ``seq`` is the monotonic last-access sequence driving LRU eviction
+    (deterministic: no wall-clock comparisons), ``created`` a wall-clock
+    stamp for the age histogram only.  ``legacy`` marks a pre-sharding flat
+    entry awaiting migration.
+    """
+
+    fingerprint: str
+    size: int
+    created: float
+    seq: int
+    legacy: bool = False
+
+    @property
+    def shard(self) -> str:
+        return self.fingerprint[:2]
+
+
+def _fresh_stats() -> dict:
+    return {
+        "memory_hits": 0,
+        "disk_hits": 0,
+        "misses": 0,
+        "stores": 0,
+        "evictions": 0,
+        "evicted_bytes": 0,
+        "integrity_misses": 0,
+        "stale_index_misses": 0,
+        "migrated_entries": 0,
+    }
+
+
+def _check_bound(value, name: str) -> int | None:
+    if value is None:
+        return None
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a positive integer or None, got {value!r}") from None
+    if value < 1:
+        raise ValueError(f"{name} must be a positive integer or None, got {value}")
+    return value
+
+
 # ---------------------------------------------------------------------------
 # The two-tier store
 # ---------------------------------------------------------------------------
@@ -237,9 +342,18 @@ class CompileCache:
             keeps the cache memory-only.
         fault_plan: optional :class:`~repro.api.faults.FaultPlan` simulating
             disk-tier failures (``cache-write-enospc``, ``cache-write-eacces``,
-            ``cache-partial-write``, ``cache-corrupt``, ``cache-read-eacces``)
-            at fingerprint-keyed points; every simulated failure must degrade
-            to a recomputed miss.
+            ``cache-partial-write``, ``cache-corrupt``, ``cache-read-eacces``,
+            ``cache-torn-index``, ``cache-stale-index``,
+            ``cache-evicted-underfoot``) at fingerprint-keyed points; every
+            simulated failure must degrade to a recomputed miss, never raise.
+        max_bytes: global byte bound of the disk tier (LRU eviction keeps the
+            store at or below it); ``None`` leaves it unbounded.
+        max_entries: global entry-count bound of the disk tier; ``None``
+            leaves it unbounded.
+        readonly: open the disk tier read-only -- lookups are served from a
+            shared directory but nothing is ever written (no entries, no
+            index appends, no eviction, no migration).  Requires
+            ``directory``.
     """
 
     def __init__(
@@ -247,14 +361,28 @@ class CompileCache:
         max_memory_entries: int = DEFAULT_MEMORY_ENTRIES,
         directory: str | Path | None = None,
         fault_plan=None,
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        readonly: bool = False,
     ):
         if max_memory_entries < 0:
             raise ValueError("max_memory_entries must be non-negative")
         self.max_memory_entries = int(max_memory_entries)
         self.directory = Path(directory) if directory is not None else None
         self.fault_plan = fault_plan
+        self.max_bytes = _check_bound(max_bytes, "max_bytes")
+        self.max_entries = _check_bound(max_entries, "max_entries")
+        self.readonly = bool(readonly)
+        if self.readonly and self.directory is None:
+            raise ValueError("readonly=True requires a cache directory")
         self._memory: OrderedDict[str, dict] = OrderedDict()
-        self.stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+        self.stats = _fresh_stats()
+        # Writer-side disk catalog, built lazily on the first disk write/hit.
+        self._catalog: dict[str, _CatalogEntry] | None = None
+        self._dirty_shards: set[str] = set()
+        self._seq = 0
+        self._meta = {"evictions": 0, "evicted_bytes": 0}
 
     def _injected_faults(self, fingerprint: str) -> frozenset[str]:
         """The simulated disk-fault kinds scheduled for this fingerprint."""
@@ -269,8 +397,9 @@ class CompileCache:
 
         Hits rehydrate the stored payload into a fresh :class:`CompileResult`
         carrying the caller's ``request``.  Any undecodable entry (corrupt
-        JSON, truncated file, schema or payload version mismatch) is logged
-        and counted as a miss; this method never raises on bad cache state.
+        JSON, truncated file, schema or payload version mismatch, integrity
+        digest or index size mismatch) is logged and counted as a miss; this
+        method never raises on bad cache state.
         """
         payload = self._memory_get(fingerprint)
         tier = "memory"
@@ -288,6 +417,7 @@ class CompileCache:
                 self.stats[f"{tier}_hits"] += 1
                 if tier == "disk":
                     self._memory_put(fingerprint, payload)
+                    self._touch(fingerprint)
                 return result
         self.stats["misses"] += 1
         return None
@@ -302,7 +432,7 @@ class CompileCache:
         """Serialize ``result`` and store it under ``fingerprint`` in every tier."""
         payload = result_to_payload(result)
         self._memory_put(fingerprint, payload)
-        if self.directory is not None:
+        if self.directory is not None and not self.readonly:
             self._disk_put(fingerprint, payload)
         self.stats["stores"] += 1
 
@@ -328,19 +458,378 @@ class CompileCache:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
 
-    # -- disk tier -----------------------------------------------------------
+    # -- disk layout ---------------------------------------------------------
 
     def _entry_path(self, fingerprint: str) -> Path:
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _legacy_path(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
+
+    def _index_path(self, shard: str) -> Path:
+        return self.directory / shard / INDEX_NAME
+
+    def _meta_path(self) -> Path:
+        return self.directory / META_NAME
+
+    def _scan_shard_dirs(self):
+        """Yield ``(shard, Path)`` for every shard directory, tolerantly."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if _SHARD_RE.match(name):
+                yield name, self.directory / name
+
+    def _scan_entry_files(self, directory: Path):
+        """Yield payload-entry ``Path``s in one directory, tolerantly."""
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if _ENTRY_RE.match(name):
+                yield directory / name
+
+    def _disk_entries(self) -> list[Path]:
+        """Every payload file, sharded and legacy-flat, sorted (tolerant)."""
+        if self.directory is None or not self.directory.is_dir():
+            return []
+        paths = list(self._scan_entry_files(self.directory))
+        for _, shard_dir in self._scan_shard_dirs():
+            paths.extend(self._scan_entry_files(shard_dir))
+        return sorted(paths)
+
+    # -- the writer catalog --------------------------------------------------
+
+    def _catalog_entries(self) -> dict[str, _CatalogEntry]:
+        if self._catalog is None:
+            self._catalog = self._load_catalog()
+        return self._catalog
+
+    def _load_catalog(self) -> dict[str, _CatalogEntry]:
+        """Reconcile every shard index against the directory contents.
+
+        The directory is the source of truth: entry files present on disk
+        define the store, the index only contributes created/last-access
+        metadata.  Files the index has never heard of (a crash between the
+        payload rename and the index append) are adopted with synthesized
+        metadata; index records whose payload vanished (a crash mid-eviction)
+        are dropped.  Either inconsistency marks the shard dirty so the next
+        write compacts its index.  This loader never raises on bad state.
+        """
+        catalog: dict[str, _CatalogEntry] = {}
+        self._dirty_shards = set()
+        seq_floor = 0
+        meta = {"evictions": 0, "evicted_bytes": 0}
+        if self.directory is not None and self.directory.is_dir():
+            try:
+                loaded = json.loads(self._meta_path().read_text())
+                if isinstance(loaded, dict):
+                    meta["evictions"] = int(loaded.get("evictions", 0))
+                    meta["evicted_bytes"] = int(loaded.get("evicted_bytes", 0))
+                    seq_floor = int(loaded.get("seq", 0))
+            except (OSError, ValueError, TypeError):
+                pass
+            for shard, shard_dir in self._scan_shard_dirs():
+                index_meta = self._read_index(shard, shard_dir)
+                for path in self._scan_entry_files(shard_dir):
+                    fingerprint = path.name[:-5]
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue  # vanished mid-scan: skip, never raise
+                    known = index_meta.pop(fingerprint, None)
+                    if known is None:
+                        # orphan payload: adopt as coldest, reindex on write
+                        self._dirty_shards.add(shard)
+                        catalog[fingerprint] = _CatalogEntry(
+                            fingerprint, stat.st_size, stat.st_mtime, 0
+                        )
+                        continue
+                    if known.get("size") != stat.st_size:
+                        self._dirty_shards.add(shard)
+                    catalog[fingerprint] = _CatalogEntry(
+                        fingerprint,
+                        stat.st_size,
+                        float(known.get("created") or stat.st_mtime),
+                        int(known.get("seq") or 0),
+                    )
+                if index_meta:
+                    # index records whose payloads are gone: stale, compact away
+                    self._dirty_shards.add(shard)
+            for path in self._scan_entry_files(self.directory):
+                fingerprint = path.name[:-5]
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                catalog.setdefault(
+                    fingerprint,
+                    _CatalogEntry(fingerprint, stat.st_size, stat.st_mtime, 0, legacy=True),
+                )
+        self._meta = meta
+        self._seq = max(
+            [seq_floor] + [entry.seq for entry in catalog.values()]
+        ) if catalog else seq_floor
+        return catalog
+
+    def _read_index(self, shard: str, shard_dir: Path) -> dict[str, dict]:
+        """Parse one shard's ``index.jsonl`` tolerantly (last record wins)."""
+        records: dict[str, dict] = {}
+        try:
+            text = (shard_dir / INDEX_NAME).read_text()
+        except OSError:
+            return records
+        torn = 0
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                torn += 1
+                continue
+            if not isinstance(record, dict):
+                torn += 1
+                continue
+            fingerprint = record.get("fp")
+            if not isinstance(fingerprint, str):
+                continue
+            if record.get("op") == "put":
+                records[fingerprint] = {
+                    "size": record.get("size"),
+                    "created": record.get("created"),
+                    "seq": record.get("seq"),
+                }
+            elif record.get("op") == "touch" and fingerprint in records:
+                records[fingerprint]["seq"] = record.get("seq")
+        if torn:
+            logger.warning(
+                "cache index %s/%s has %d unreadable line(s); will compact on next write",
+                shard, INDEX_NAME, torn,
+            )
+            self._dirty_shards.add(shard)
+        return records
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _append_index(self, fingerprint: str, record: dict) -> None:
+        """Append one record to the entry's shard index (torn-write fault aware)."""
+        line = _canonical_json(record) + "\n"
+        if "cache-torn-index" in self._injected_faults(fingerprint):
+            # A torn append: the process died mid-write, leaving half a line.
+            line = line[: max(1, len(line) // 2)]
+            self._dirty_shards.add(fingerprint[:2])
+        with open(self._index_path(fingerprint[:2]), "a") as handle:
+            handle.write(line)
+
+    def _touch(self, fingerprint: str) -> None:
+        """Record a disk hit in the LRU order (writer handles only)."""
+        if self.readonly or self.directory is None:
+            return
+        try:
+            catalog = self._catalog_entries()
+            entry = catalog.get(fingerprint)
+            if entry is None or entry.legacy:
+                return
+            entry.seq = self._next_seq()
+            self._append_index(
+                fingerprint,
+                {
+                    "op": "touch",
+                    "fp": fingerprint,
+                    "seq": entry.seq,
+                    "ts": round(time.time(), 3),
+                },
+            )
+        except OSError as exc:
+            logger.warning("cannot record cache access for %s (%s)",
+                           fingerprint[:12], exc)
+
+    def _rewrite_shard_index(self, shard: str) -> None:
+        """Atomically rewrite one shard's index from the catalog (compaction)."""
+        catalog = self._catalog_entries()
+        entries = sorted(
+            (e for e in catalog.values() if not e.legacy and e.shard == shard),
+            key=lambda e: e.fingerprint,
+        )
+        shard_dir = self.directory / shard
+        if not entries:
+            # the shard emptied out: drop its index and (if possible) the dir
+            try:
+                (shard_dir / INDEX_NAME).unlink()
+            except OSError:
+                pass
+            try:
+                shard_dir.rmdir()
+            except OSError:
+                pass  # stray temp files or a concurrent writer: leave it
+            return
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        lines = [
+            _canonical_json(
+                {
+                    "op": "put",
+                    "fp": entry.fingerprint,
+                    "size": entry.size,
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "created": round(entry.created, 3),
+                    "seq": entry.seq,
+                }
+            )
+            for entry in entries
+        ]
+        fd, tmp_name = tempfile.mkstemp(dir=shard_dir, prefix=".tmp-", suffix=".jsonl")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write("".join(line + "\n" for line in lines))
+            os.replace(tmp_name, self._index_path(shard))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _compact_dirty_shards(self) -> None:
+        for shard in sorted(self._dirty_shards):
+            self._rewrite_shard_index(shard)
+        self._dirty_shards = set()
+
+    def _write_meta(self) -> None:
+        record = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "evictions": self._meta["evictions"],
+            "evicted_bytes": self._meta["evicted_bytes"],
+            "seq": self._seq,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".meta"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp_name, self._meta_path())
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _migrate_legacy(self) -> None:
+        """Reshard pre-ISSUE-9 flat entries (called from the write path)."""
+        catalog = self._catalog_entries()
+        legacy = [entry for entry in catalog.values() if entry.legacy]
+        for entry in sorted(legacy, key=lambda e: e.fingerprint):
+            source = self._legacy_path(entry.fingerprint)
+            target = self._entry_path(entry.fingerprint)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(source, target)
+            except FileNotFoundError:
+                del catalog[entry.fingerprint]  # vanished underfoot: drop
+                continue
+            entry.legacy = False
+            entry.seq = self._next_seq()
+            self._append_index(
+                entry.fingerprint,
+                {
+                    "op": "put",
+                    "fp": entry.fingerprint,
+                    "size": entry.size,
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "created": round(entry.created, 3),
+                    "seq": entry.seq,
+                },
+            )
+            self.stats["migrated_entries"] += 1
+
+    def _enforce_bounds(self) -> None:
+        """Evict LRU entries (one batch) until the store is within bounds.
+
+        Victim order is deterministic: ascending last-access sequence with
+        the fingerprint as tie-break, so identical operation histories evict
+        identical entries regardless of timing.
+        """
+        if self.max_bytes is None and self.max_entries is None:
+            return
+        catalog = self._catalog_entries()
+        entries = len(catalog)
+        total = sum(entry.size for entry in catalog.values())
+        victims: list[_CatalogEntry] = []
+        if (self.max_entries is not None and entries > self.max_entries) or (
+            self.max_bytes is not None and total > self.max_bytes
+        ):
+            for entry in sorted(catalog.values(), key=lambda e: (e.seq, e.fingerprint)):
+                over_entries = (
+                    self.max_entries is not None and entries > self.max_entries
+                )
+                over_bytes = self.max_bytes is not None and total > self.max_bytes
+                if not over_entries and not over_bytes:
+                    break
+                victims.append(entry)
+                entries -= 1
+                total -= entry.size
+        if not victims:
+            return
+        shards: set[str] = set()
+        freed = 0
+        for entry in victims:
+            path = (
+                self._legacy_path(entry.fingerprint)
+                if entry.legacy
+                else self._entry_path(entry.fingerprint)
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already gone: the bound still holds
+            del catalog[entry.fingerprint]
+            self._memory.pop(entry.fingerprint, None)
+            if not entry.legacy:
+                shards.add(entry.shard)
+            freed += entry.size
+        self.stats["evictions"] += len(victims)
+        self.stats["evicted_bytes"] += freed
+        self._meta["evictions"] += len(victims)
+        self._meta["evicted_bytes"] += freed
+        try:
+            for shard in sorted(shards):
+                self._rewrite_shard_index(shard)
+            self._write_meta()
+        except OSError as exc:
+            logger.warning("cannot persist cache index after eviction (%s)", exc)
+        logger.debug("evicted %d cache entries (%d bytes)", len(victims), freed)
+
+    # -- disk tier -----------------------------------------------------------
 
     def _disk_get(self, fingerprint: str) -> dict | None:
         path = self._entry_path(fingerprint)
+        legacy = False
         try:
-            if "cache-read-eacces" in self._injected_faults(fingerprint):
+            faults = self._injected_faults(fingerprint)
+            if "cache-read-eacces" in faults:
                 raise PermissionError(
                     errno.EACCES, f"injected read fault for {path.name}"
                 )
-            envelope = json.loads(path.read_text())
+            if "cache-evicted-underfoot" in faults:
+                # The index said the entry exists, but a concurrent eviction
+                # unlinked the payload before we could open it.
+                raise FileNotFoundError(
+                    errno.ENOENT, f"injected eviction under reader for {path.name}"
+                )
+            try:
+                raw = path.read_bytes()
+            except FileNotFoundError:
+                raw = self._legacy_path(fingerprint).read_bytes()
+                legacy = True
+            envelope = json.loads(raw)
         except FileNotFoundError:
             return None
         except (OSError, ValueError) as exc:
@@ -362,12 +851,40 @@ class CompileCache:
                            path.name)
             return None
         payload = envelope.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            return None
+        digest = envelope.get("digest")
+        if digest is not None and digest != payload_digest(payload):
+            # Bit rot that still parses as JSON: the embedded digest catches it.
+            logger.warning(
+                "cache entry %s failed integrity verification; treating as miss",
+                path.name,
+            )
+            self.stats["integrity_misses"] += 1
+            return None
+        if self._catalog is not None and not legacy:
+            entry = self._catalog.get(fingerprint)
+            recorded = entry.size if entry is not None else None
+            if "cache-stale-index" in faults and recorded is not None:
+                recorded += 1  # simulate an index record the store outgrew
+            if recorded is not None and recorded != len(raw):
+                # The index disagrees with the bytes on disk: distrust both,
+                # recompute, and let the next write reindex the entry.
+                logger.warning(
+                    "cache entry %s size %d != indexed %d (stale index); "
+                    "treating as miss", path.name, len(raw), recorded,
+                )
+                self.stats["stale_index_misses"] += 1
+                entry.size = len(raw)
+                self._dirty_shards.add(fingerprint[:2])
+                return None
+        return payload
 
     def _disk_put(self, fingerprint: str, payload: dict) -> None:
         envelope = {
             "schema": CACHE_SCHEMA_VERSION,
             "fingerprint": fingerprint,
+            "digest": payload_digest(payload),
             "payload": payload,
         }
         faults = self._injected_faults(fingerprint)
@@ -380,22 +897,25 @@ class CompileCache:
                 raise PermissionError(
                     errno.EACCES, f"injected EACCES writing {fingerprint[:12]}"
                 )
-            self.directory.mkdir(parents=True, exist_ok=True)
+            catalog = self._catalog_entries()
+            self._migrate_legacy()
+            path = self._entry_path(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            text = json.dumps(envelope, sort_keys=True)
             if "cache-partial-write" in faults:
                 # A torn write: the process died mid-write without the atomic
                 # temp-file dance, leaving a truncated entry at the final path.
-                text = json.dumps(envelope, sort_keys=True)
-                self._entry_path(fingerprint).write_text(text[: len(text) // 2])
+                path.write_text(text[: len(text) // 2])
                 return
             # Atomic publish: write to a sibling temp file, then rename over
             # the final path so readers never observe a truncated entry.
             fd, tmp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=".tmp-", suffix=".json"
+                dir=path.parent, prefix=".tmp-", suffix=".json"
             )
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(envelope, handle, sort_keys=True)
-                os.replace(tmp_name, self._entry_path(fingerprint))
+                    handle.write(text)
+                os.replace(tmp_name, path)
             except BaseException:
                 try:
                     os.unlink(tmp_name)
@@ -405,49 +925,83 @@ class CompileCache:
             if "cache-corrupt" in faults:
                 # Bit rot after a successful write: the entry bytes on disk
                 # no longer parse (distinct from the torn-write shape above).
-                self._entry_path(fingerprint).write_bytes(b"\x00corrupt\xff{{{")
+                path.write_bytes(b"\x00corrupt\xff{{{")
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = len(text)
+            previous = catalog.get(fingerprint)
+            created = previous.created if previous is not None else time.time()
+            seq = self._next_seq()
+            catalog[fingerprint] = _CatalogEntry(fingerprint, size, created, seq)
+            self._append_index(
+                fingerprint,
+                {
+                    "op": "put",
+                    "fp": fingerprint,
+                    "size": size,
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "created": round(created, 3),
+                    "seq": seq,
+                },
+            )
+            self._compact_dirty_shards()
+            self._enforce_bounds()
         except OSError as exc:
             logger.warning("cannot persist cache entry %s (%s); memory tier only",
                            fingerprint[:12], exc)
-
-    def _disk_entries(self) -> list[Path]:
-        if self.directory is None or not self.directory.is_dir():
-            return []
-        return sorted(
-            p for p in self.directory.glob("*.json") if not p.name.startswith(".tmp-")
-        )
 
     # -- introspection / maintenance -----------------------------------------
 
     def disk_stats(self) -> dict:
         """Aggregate statistics of the disk tier (the ``cache info`` payload).
 
-        Reports total bytes, entry count and the age in seconds of the oldest
-        and newest entries (``None`` when the tier is disabled or empty).
-        Shared by ``repro-map cache info`` and the compile service's
-        ``/metrics`` endpoint, so both surfaces always agree.
+        Reports total bytes and entry count, per-shard bytes/entries (legacy
+        flat entries appear under the pseudo-shard ``"flat"``), the age in
+        seconds of the oldest and newest entries, an entry-age histogram and
+        the persisted eviction counters.  Shared by ``repro-map cache info``
+        and the compile service's ``/metrics`` endpoint, so both surfaces
+        always agree.  The directory may be shared with concurrently writing
+        or clearing processes: an entry unlinked between scan and stat is
+        skipped, never raised.
         """
-        # The directory may be shared with concurrently clearing processes:
-        # an entry unlinked between glob and stat is skipped, never raised.
         entries = 0
         total_bytes = 0
         oldest_mtime: float | None = None
         newest_mtime: float | None = None
+        shards: dict[str, dict] = {}
+        ages = [0] * len(_AGE_BUCKET_LABELS)
+        now = time.time()
         for path in self._disk_entries():
             try:
                 stat = path.stat()
             except OSError:
-                continue
+                continue  # vanished mid-scan (e.g. a concurrent clear)
+            shard = path.parent.name if path.parent != self.directory else "flat"
             entries += 1
             total_bytes += stat.st_size
+            bucket = shards.setdefault(shard, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += stat.st_size
             if oldest_mtime is None or stat.st_mtime < oldest_mtime:
                 oldest_mtime = stat.st_mtime
             if newest_mtime is None or stat.st_mtime > newest_mtime:
                 newest_mtime = stat.st_mtime
-        now = time.time()
+            age = max(0.0, now - stat.st_mtime)
+            for index, bound in enumerate(AGE_BUCKET_BOUNDS):
+                if age <= bound:
+                    ages[index] += 1
+                    break
+            else:
+                ages[-1] += 1
+        evictions, evicted_bytes = self._persisted_evictions()
         return {
             "entries": entries,
             "bytes": total_bytes,
+            "shards": shards,
+            "age_histogram": dict(zip(_AGE_BUCKET_LABELS, ages)),
+            "evictions": evictions,
+            "evicted_bytes": evicted_bytes,
             "oldest_age_seconds": (
                 max(0.0, round(now - oldest_mtime, 3)) if oldest_mtime is not None else None
             ),
@@ -456,25 +1010,51 @@ class CompileCache:
             ),
         }
 
+    def _persisted_evictions(self) -> tuple[int, int]:
+        """Cumulative eviction counters from ``_meta.json`` (tolerant)."""
+        if self.directory is None:
+            return 0, 0
+        try:
+            meta = json.loads(self._meta_path().read_text())
+            return int(meta.get("evictions", 0)), int(meta.get("evicted_bytes", 0))
+        except (OSError, ValueError, TypeError):
+            return self._meta["evictions"], self._meta["evicted_bytes"]
+
     def info(self) -> dict:
         """Flat introspection record (used by ``repro-map cache info``)."""
         disk = self.disk_stats()
+        hits = self.stats["memory_hits"] + self.stats["disk_hits"]
+        lookups = hits + self.stats["misses"]
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "memory_entries": len(self._memory),
             "max_memory_entries": self.max_memory_entries,
             "disk_dir": str(self.directory) if self.directory is not None else None,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+            "readonly": self.readonly,
             "disk_entries": disk["entries"],
             "disk_bytes": disk["bytes"],
+            "disk_shards": disk["shards"],
+            "disk_age_histogram": disk["age_histogram"],
+            "disk_evictions": disk["evictions"],
+            "disk_evicted_bytes": disk["evicted_bytes"],
             "disk_oldest_age_seconds": disk["oldest_age_seconds"],
             "disk_newest_age_seconds": disk["newest_age_seconds"],
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
             "stats": dict(self.stats),
         }
 
     def clear(self) -> dict:
-        """Drop every entry in both tiers; return per-tier removal counts."""
+        """Drop every entry in both tiers; return per-tier removal counts.
+
+        A ``readonly`` handle only clears its memory tier -- the shared disk
+        store is left untouched.
+        """
         removed = {"memory_entries": len(self._memory), "disk_entries": 0}
         self._memory.clear()
+        if self.readonly:
+            return removed
         for path in self._disk_entries():
             try:
                 path.unlink()
@@ -482,6 +1062,23 @@ class CompileCache:
                 logger.warning("cannot remove cache entry %s (%s)", path.name, exc)
             else:
                 removed["disk_entries"] += 1
+        if self.directory is not None and self.directory.is_dir():
+            for _, shard_dir in self._scan_shard_dirs():
+                try:
+                    (shard_dir / INDEX_NAME).unlink()
+                except OSError:
+                    pass
+                try:
+                    shard_dir.rmdir()
+                except OSError:
+                    pass  # non-empty (a concurrent writer) or already gone
+            try:
+                self._meta_path().unlink()
+            except OSError:
+                pass
+        self._catalog = None
+        self._dirty_shards = set()
+        self._meta = {"evictions": 0, "evicted_bytes": 0}
         return removed
 
     def __len__(self) -> int:
@@ -489,6 +1086,8 @@ class CompileCache:
 
     def __repr__(self) -> str:
         tier = f", dir={str(self.directory)!r}" if self.directory is not None else ""
+        if self.readonly:
+            tier += ", readonly"
         return (
             f"CompileCache(memory={len(self._memory)}/{self.max_memory_entries}"
             f"{tier}, stats={self.stats})"
@@ -502,16 +1101,38 @@ class CompileCache:
 _default_cache: CompileCache | None = None
 
 
+def _env_int(name: str) -> int | None:
+    """A positive integer environment bound, or ``None`` (invalid = ignored)."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        logger.warning("ignoring %s=%r: not an integer", name, raw)
+        return None
+    if value < 1:
+        logger.warning("ignoring %s=%r: must be positive", name, raw)
+        return None
+    return value
+
+
 def default_cache() -> CompileCache:
     """The lazily-created process-wide cache :func:`repro.api.compile` uses.
 
     Memory-only unless the ``REPRO_CACHE_DIR`` environment variable names a
-    directory at first use (disk persistence stays opt-in).
+    directory at first use (disk persistence stays opt-in);
+    ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` bound the disk
+    tier with LRU eviction.
     """
     global _default_cache
     if _default_cache is None:
         directory = os.environ.get(CACHE_DIR_ENV) or None
-        _default_cache = CompileCache(directory=directory)
+        _default_cache = CompileCache(
+            directory=directory,
+            max_bytes=_env_int(CACHE_MAX_BYTES_ENV) if directory else None,
+            max_entries=_env_int(CACHE_MAX_ENTRIES_ENV) if directory else None,
+        )
     return _default_cache
 
 

@@ -25,11 +25,17 @@ Execution fault kinds (applied in the worker before the pipeline runs):
 Cache fault kinds (applied by the :class:`~repro.api.cache.CompileCache`
 disk tier; the cache must always degrade to a recomputed miss, never raise):
 
-* ``cache-write-enospc``   the store raises ``OSError(ENOSPC)``,
-* ``cache-write-eacces``   the store raises ``PermissionError``,
-* ``cache-partial-write``  a torn write leaves a truncated entry on disk,
-* ``cache-corrupt``        the persisted entry is garbled after the write,
-* ``cache-read-eacces``    reading the entry raises ``PermissionError``.
+* ``cache-write-enospc``       the store raises ``OSError(ENOSPC)``,
+* ``cache-write-eacces``       the store raises ``PermissionError``,
+* ``cache-partial-write``      a torn write leaves a truncated entry on disk,
+* ``cache-corrupt``            the persisted entry is garbled after the write,
+* ``cache-read-eacces``        reading the entry raises ``PermissionError``,
+* ``cache-torn-index``         the shard-index append is torn mid-line (the
+  process died half-way through the write),
+* ``cache-stale-index``        the shard index records a size the entry on
+  disk no longer has (verification must fail the read),
+* ``cache-evicted-underfoot``  the entry is unlinked between the index read
+  and the payload open (a concurrent eviction won the race).
 
 The hidden CLI flag ``--inject-faults`` accepts the compact
 :meth:`FaultPlan.parse` syntax ``target:kind[:attempt]``, comma-separated::
@@ -61,6 +67,9 @@ CACHE_FAULT_KINDS = (
     "cache-partial-write",
     "cache-corrupt",
     "cache-read-eacces",
+    "cache-torn-index",
+    "cache-stale-index",
+    "cache-evicted-underfoot",
 )
 #: Every recognised fault kind.
 FAULT_KINDS = EXECUTION_FAULT_KINDS + CACHE_FAULT_KINDS

@@ -77,19 +77,45 @@ def _add_circuit_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _check_cache_bounds(args: argparse.Namespace) -> None:
+    """Validate the disk-tier bound/readonly flags (they need ``--cache-dir``)."""
+    bounded = (
+        getattr(args, "cache_max_bytes", None) is not None
+        or getattr(args, "cache_max_entries", None) is not None
+        or getattr(args, "cache_readonly", False)
+    )
+    if bounded and args.cache_dir is None:
+        raise CompileError(
+            "--cache-max-bytes/--cache-max-entries/--cache-readonly require --cache-dir"
+        )
+    for name in ("cache_max_bytes", "cache_max_entries"):
+        value = getattr(args, name, None)
+        if value is not None and value < 1:
+            flag = "--" + name.replace("_", "-")
+            raise CompileError(f"{flag} must be a positive integer, got {value}")
+
+
 def _make_cache(args: argparse.Namespace) -> CompileCache | bool:
-    """The cache selected by ``--cache/--no-cache/--cache-dir``.
+    """The cache selected by ``--cache/--no-cache/--cache-dir`` and bounds.
 
     Returns ``False`` (caching disabled), a disk-backed :class:`CompileCache`
-    for an explicit ``--cache-dir``, or ``True`` (the process default cache,
-    in-memory unless ``REPRO_CACHE_DIR`` is set).
+    for an explicit ``--cache-dir`` (optionally bounded or read-only), or
+    ``True`` (the process default cache, in-memory unless ``REPRO_CACHE_DIR``
+    is set).
     """
     if not args.cache:
         if args.cache_dir is not None:
             raise CompileError("--no-cache and --cache-dir are mutually exclusive")
+        _check_cache_bounds(args)  # bounds without --cache-dir: same error
         return False
+    _check_cache_bounds(args)
     if args.cache_dir is not None:
-        return CompileCache(directory=args.cache_dir)
+        return CompileCache(
+            directory=args.cache_dir,
+            max_bytes=getattr(args, "cache_max_bytes", None),
+            max_entries=getattr(args, "cache_max_entries", None),
+            readonly=getattr(args, "cache_readonly", False),
+        )
     return True
 
 
@@ -104,6 +130,18 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         type=Path,
         help="persist cache entries in this directory (shared across runs)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="bound the disk tier to N bytes (LRU eviction; requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="bound the disk tier to N entries (LRU eviction; requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-readonly", action="store_true",
+        help="open the cache directory read-only (serve hits, never write or evict)",
     )
 
 
@@ -252,6 +290,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         raise CompileError("repro-map bench: --retries must be non-negative")
     if not args.cache and args.cache_dir is not None:
         raise CompileError("--no-cache and --cache-dir are mutually exclusive")
+    _check_cache_bounds(args)
     record = write_perf_smoke(
         args.output,
         rounds=args.rounds,
@@ -259,6 +298,9 @@ def _command_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_entries=args.cache_max_entries,
+        cache_readonly=args.cache_readonly,
         timeout=args.timeout,
         retries=args.retries,
         faults=_parse_faults(args),
@@ -298,18 +340,37 @@ def _format_age(seconds) -> str:
     return f"{seconds / 86400:.1f} d"
 
 
+def _format_bound(value) -> str:
+    return "unbounded" if value is None else str(value)
+
+
 def _command_cache_info(args: argparse.Namespace) -> int:
     info = _cache_for_inspection(args).info()
     print(f"schema       : {info['schema']}")
     if info["disk_dir"] is None:
         print("disk tier    : disabled (pass --cache-dir or set "
               f"{CACHE_DIR_ENV} to enable)")
-    else:
-        print(f"disk dir     : {info['disk_dir']}")
-        print(f"disk entries : {info['disk_entries']}")
-        print(f"disk bytes   : {info['disk_bytes']}")
-        print(f"oldest entry : {_format_age(info['disk_oldest_age_seconds'])}")
-        print(f"newest entry : {_format_age(info['disk_newest_age_seconds'])}")
+        return 0
+    print(f"disk dir     : {info['disk_dir']}")
+    print(f"disk entries : {info['disk_entries']}")
+    print(f"disk bytes   : {info['disk_bytes']}")
+    print(f"max entries  : {_format_bound(info['max_entries'])}")
+    print(f"max bytes    : {_format_bound(info['max_bytes'])}")
+    print(f"evictions    : {info['disk_evictions']} "
+          f"({info['disk_evicted_bytes']} bytes reclaimed)")
+    rate = info["hit_rate"]
+    print(f"hit rate     : {'-' if rate is None else f'{rate:.2%}'} (this handle)")
+    print(f"oldest entry : {_format_age(info['disk_oldest_age_seconds'])}")
+    print(f"newest entry : {_format_age(info['disk_newest_age_seconds'])}")
+    shards = info["disk_shards"]
+    print(f"shards       : {len(shards)} populated")
+    for shard in sorted(shards):
+        bucket = shards[shard]
+        label = "flat (pre-shard)" if shard == "flat" else shard
+        print(f"  {label:16s}: {bucket['entries']} entries, {bucket['bytes']} bytes")
+    histogram = info["disk_age_histogram"]
+    rendered = "  ".join(f"{label} {count}" for label, count in histogram.items())
+    print(f"entry ages   : {rendered}")
     return 0
 
 
@@ -332,6 +393,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_size=args.queue_size,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_entries=args.cache_max_entries,
+        cache_readonly=args.cache_readonly,
         timeout=args.timeout,
         retries=args.retries,
         faults=_parse_faults(args),
@@ -474,6 +538,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--cache-dir", type=Path,
         help="persistent disk tier for the shared warm compile cache",
+    )
+    serve_parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="bound the disk tier to N bytes (LRU eviction; requires --cache-dir)",
+    )
+    serve_parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="bound the disk tier to N entries (LRU eviction; requires --cache-dir)",
+    )
+    serve_parser.add_argument(
+        "--cache-readonly", action="store_true",
+        help="mount the cache directory read-only (fleet mode: serve hits from a "
+        "shared warm store, never write or evict)",
     )
     serve_parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",

@@ -75,9 +75,15 @@ class ServeMetrics:
             histogram = self._histograms[name] = Histogram()
         histogram.observe(seconds)
 
-    def snapshot(self, gauges: dict | None = None) -> dict:
+    def snapshot(self, gauges: dict | None = None, extra_counters: dict | None = None) -> dict:
+        """Render everything JSON-safe.  ``extra_counters`` lets the service
+        merge counters owned by another subsystem (the shared cache's
+        eviction totals) into the same flat namespace scrapers watch."""
+        counters = dict(self._counters)
+        for name, value in (extra_counters or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
         return {
-            "counters": dict(sorted(self._counters.items())),
+            "counters": dict(sorted(counters.items())),
             "gauges": dict(gauges or {}),
             "latency_seconds": {
                 name: histogram.snapshot()

@@ -77,6 +77,9 @@ class ServeConfig:
     queue_size: int = 64
     cache_dir: str | None = None
     cache_memory_entries: int = 1024
+    cache_max_bytes: int | None = None
+    cache_max_entries: int | None = None
+    cache_readonly: bool = False
     timeout: float | None = None
     retries: int = 0
     faults: object | None = None  # FaultPlan | None
@@ -90,6 +93,18 @@ class ServeConfig:
             raise ValueError("timeout must be a positive number of seconds or None")
         if self.retries < 0:
             raise ValueError(f"retries must be non-negative, got {self.retries}")
+        if self.cache_dir is None and (
+            self.cache_max_bytes is not None
+            or self.cache_max_entries is not None
+            or self.cache_readonly
+        ):
+            raise ValueError(
+                "cache_max_bytes/cache_max_entries/cache_readonly require cache_dir"
+            )
+        for name in ("cache_max_bytes", "cache_max_entries"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value}")
 
 
 @dataclass
@@ -113,6 +128,9 @@ class CompileService:
             self.cache = CompileCache(
                 max_memory_entries=self.config.cache_memory_entries,
                 directory=self.config.cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+                max_entries=self.config.cache_max_entries,
+                readonly=self.config.cache_readonly,
             )
         self.metrics = ServeMetrics()
         self.jobs = JobTable()
@@ -312,7 +330,11 @@ class CompileService:
                 "in_flight": self.jobs.in_flight_count(),
                 "running": self.jobs.running_count(),
                 "draining": self.draining,
-            }
+            },
+            extra_counters={
+                "cache_evictions": self.cache.stats["evictions"],
+                "cache_evicted_bytes": self.cache.stats["evicted_bytes"],
+            },
         )
         # The same stats helper `repro-map cache info` prints: the service's
         # warm cache is the whole point of running a daemon, so its hit/miss

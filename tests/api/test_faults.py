@@ -179,6 +179,8 @@ class TestCacheDiskFaults:
             "cache-partial-write",
             "cache-corrupt",
             "cache-read-eacces",
+            "cache-stale-index",
+            "cache-evicted-underfoot",
         ],
     )
     def test_disk_fault_degrades_to_recomputed_miss(
@@ -201,14 +203,14 @@ class TestCacheDiskFaults:
         plan = FaultPlan().inject("*", "cache-write-enospc")
         cache = CompileCache(max_memory_entries=0, directory=tmp_path, fault_plan=plan)
         api_compile(request, cache=cache)
-        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("*/*.json"))
 
     def test_partial_write_leaves_truncated_entry(self, tmp_path, request_and_clean):
         request, _ = request_and_clean
         plan = FaultPlan().inject("*", "cache-partial-write")
         cache = CompileCache(max_memory_entries=0, directory=tmp_path, fault_plan=plan)
         api_compile(request, cache=cache)
-        entries = list(tmp_path.glob("*.json"))
+        entries = list(tmp_path.glob("*/*.json"))
         assert len(entries) == 1
         with pytest.raises(ValueError):
             import json
@@ -224,7 +226,7 @@ class TestCacheDiskFaults:
         api_compile(healthy_request, cache=cache)
         api_compile(healthy_request, cache=cache)
         assert cache.stats["disk_hits"] == 1  # healthy entry round-trips
-        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert len(list(tmp_path.glob("*/*.json"))) == 1
 
     def test_healthy_cache_unaffected_without_plan(self, tmp_path, request_and_clean):
         request, clean = request_and_clean
@@ -252,10 +254,10 @@ class TestCompileFaultWiring:
         plan = FaultPlan().inject("*", "cache-write-enospc")
         api_compile(request, cache=cache, faults=plan)
         assert cache.fault_plan is None
-        assert not list(tmp_path.glob("*.json"))
+        assert not list(tmp_path.glob("*/*.json"))
         # next call without faults persists normally
         api_compile(request, cache=cache)
-        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert len(list(tmp_path.glob("*/*.json"))) == 1
 
     def test_compile_rejects_bad_faults_argument(self):
         with pytest.raises(TypeError, match="faults must be"):

@@ -284,6 +284,66 @@ class TestCacheCommand:
             main(["cache"])
 
 
+class TestCacheBoundFlags:
+    MAP_ARGS = TestCacheFlags.MAP_ARGS
+
+    @pytest.mark.parametrize(
+        "flag", [["--cache-max-bytes", "100"], ["--cache-max-entries", "1"],
+                 ["--cache-readonly"]]
+    )
+    def test_bounds_without_cache_dir_exit_2(self, flag, capsys):
+        assert main(self.MAP_ARGS + flag) == 2
+        assert "require --cache-dir" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--cache-max-bytes", "--cache-max-entries"])
+    def test_non_positive_bounds_exit_2(self, tmp_path, flag, capsys):
+        code = main(self.MAP_ARGS + ["--cache-dir", str(tmp_path), flag, "0"])
+        assert code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_bounded_map_evicts_and_info_reports_it(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        for seed in range(3):
+            args = self.MAP_ARGS + [
+                "--seed", str(seed), "--cache-dir", cache_dir,
+                "--cache-max-entries", "1",
+            ]
+            assert main(args) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries : 1" in out
+        assert "evictions    : 2" in out
+
+    def test_readonly_map_serves_hits_but_never_writes(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        args = self.MAP_ARGS + ["--cache-dir", cache_dir, "--cache-readonly"]
+        assert main(args) == 0
+        assert "cache        : hit" in capsys.readouterr().out
+        # a different request through a readonly handle recomputes, no store
+        miss_args = self.MAP_ARGS + [
+            "--seed", "7", "--cache-dir", cache_dir, "--cache-readonly"
+        ]
+        assert main(miss_args) == 0
+        assert "cache        : miss" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "disk entries : 1" in capsys.readouterr().out
+
+    def test_cache_info_renders_bounds_shards_and_ages(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(self.MAP_ARGS + ["--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "max entries  : unbounded" in out
+        assert "max bytes    : unbounded" in out
+        assert "evictions    : 0 (0 bytes reclaimed)" in out
+        assert "shards       : 1 populated" in out
+        assert "entry ages   : <=1m 1" in out
+
+
 class TestVersionFlag:
     def test_version_flag_prints_single_source_version(self, capsys):
         from repro import __version__
