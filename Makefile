@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-golden test-cache test-cache-store test-faults test-serve bench serve check
+.PHONY: test test-fast test-golden test-cache test-cache-store test-faults test-serve test-obs bench serve check
 
 ## Tier-1 verification: the full suite including the paper benchmarks.
 test:
@@ -51,6 +51,13 @@ test-faults:
 test-serve:
 	$(PYTHON) -m pytest tests/serve -q
 
+## Observability suite: span recording/propagation, cross-process batch
+## stitching, JSONL/Chrome exporters, trace CLI, Prometheus exposition,
+## logging setup, traced==untraced bit-identity, and the no-op tracer
+## overhead gate (<2% on the compile hot path).  Fast (~5 s).
+test-obs:
+	$(PYTHON) -m pytest tests/obs tests/serve/test_serve_obs.py tests/serve/test_serve_metrics.py -q
+
 ## Run the compile service locally on the default port (Ctrl-C to stop,
 ## `curl -X POST localhost:8653/admin/drain` for a graceful exit).
 serve:
@@ -71,9 +78,12 @@ bench:
 ## (`repro-map map` routes through repro.api.compile; `bench --quick` drives
 ## the compile_many batch driver on a reduced fixture, run twice against one
 ## --cache-dir so the second run exercises warm disk hits end to end).
-check: test-golden test-cache test-cache-store test-faults test-serve test
+check: test-golden test-cache test-cache-store test-faults test-serve test-obs test
 	$(PYTHON) -m repro map --generate qft:12 --backend ankaa3 --mapper sabre --verify
 	$(PYTHON) -m repro map --generate ghz:10 --mapper qlosure --verify
+	$(PYTHON) -m repro map --generate qft:10 --no-cache --trace-out $(or $(TMPDIR),/tmp)/repro-check.trace.jsonl
+	$(PYTHON) -m repro trace summarize $(or $(TMPDIR),/tmp)/repro-check.trace.jsonl
+	$(PYTHON) -m repro trace chrome $(or $(TMPDIR),/tmp)/repro-check.trace.jsonl --output $(or $(TMPDIR),/tmp)/repro-check.chrome.json
 	rm -rf $(or $(TMPDIR),/tmp)/repro-cache-check
 	$(PYTHON) -m repro bench --quick --workers 2 --cache-dir $(or $(TMPDIR),/tmp)/repro-cache-check --output $(or $(TMPDIR),/tmp)/BENCH_quick.json
 	$(PYTHON) benchmarks/perf_smoke.py --quick --workers 2 --cache-dir $(or $(TMPDIR),/tmp)/repro-cache-check --output $(or $(TMPDIR),/tmp)/BENCH_quick_warm.json --compare $(or $(TMPDIR),/tmp)/BENCH_quick.json

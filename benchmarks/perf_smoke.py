@@ -103,6 +103,11 @@ def main(argv: list[str] | None = None) -> int:
         help="extra attempts per failed request (deterministic seeded backoff)",
     )
     parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record the benchmark batch as a JSONL trace file "
+        "(observational only; never affects the trajectory record)",
+    )
+    parser.add_argument(
         "--inject-faults", metavar="PLAN", default=None, help=argparse.SUPPRESS
     )
     args = parser.parse_args(argv)
@@ -142,22 +147,42 @@ def main(argv: list[str] | None = None) -> int:
             baseline = json.loads(args.compare.read_text())
         except (OSError, ValueError) as exc:
             parser.error(f"--compare: cannot read baseline {args.compare}: {exc}")
-    record = write_perf_smoke(
-        args.output,
-        rounds=args.rounds,
-        workers=args.workers,
-        quick=args.quick,
-        cache=args.cache,
-        cache_dir=args.cache_dir,
-        cache_max_bytes=args.cache_max_bytes,
-        cache_max_entries=args.cache_max_entries,
-        cache_readonly=args.cache_readonly,
-        timeout=args.timeout,
-        retries=args.retries,
-        faults=faults,
-    )
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        install = use_tracer(tracer)
+    else:
+        from contextlib import nullcontext
+
+        install = nullcontext()
+    with install:
+        record = write_perf_smoke(
+            args.output,
+            rounds=args.rounds,
+            workers=args.workers,
+            quick=args.quick,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_entries=args.cache_max_entries,
+            cache_readonly=args.cache_readonly,
+            timeout=args.timeout,
+            retries=args.retries,
+            faults=faults,
+        )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
+    if tracer is not None:
+        from repro.obs import write_trace
+
+        count = write_trace(
+            args.trace_out,
+            tracer,
+            meta={"tool": "perf_smoke", "trace_id": tracer.trace_id},
+        )
+        print(f"wrote {args.trace_out} ({count} spans)")
     failures = record.get("failures", [])
     if failures:
         # Zero-failure assertion: a partially-failed run exits nonzero even

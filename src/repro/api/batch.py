@@ -55,6 +55,7 @@ from repro.api.pipeline import compile_uncached as _compile
 from repro.api.pipeline import _cache_fault_window
 from repro.api.request import CompileRequest
 from repro.api.result import BatchResult, CompileError, CompileResult
+from repro.obs.trace import Tracer, current_tracer, use_tracer
 
 #: Recognised per-request failure policies.
 ON_ERROR_POLICIES = ("raise", "collect")
@@ -120,12 +121,30 @@ def _check_batch_options(workers, timeout, retries, backoff, on_error) -> tuple:
     return workers, timeout, retries, backoff
 
 
+def _compile_traced(payload):
+    """Pool worker body under tracing: compile one miss, ship its spans home.
+
+    ``payload`` is ``(request, batch index, TraceContext)``.  The worker
+    records into a private child tracer (its request span parents under the
+    batch span named by the context) and returns ``(result, spans,
+    counters)`` -- everything picklable -- so the parent can stitch the
+    fragment back into the one batch trace.
+    """
+    request, index, ctx = payload
+    tracer = Tracer(context=ctx)
+    with use_tracer(tracer), tracer.span("request", index=index):
+        result = _compile(request)
+    return result, tracer.spans, tracer.counters
+
+
 # ---------------------------------------------------------------------------
 # Isolated attempt execution (one forked child per attempt)
 # ---------------------------------------------------------------------------
 
 
-def _attempt_child(conn, request, plan, fingerprint, index, attempt) -> None:
+def _attempt_child(
+    conn, request, plan, fingerprint, index, attempt, trace_ctx=None
+) -> None:
     """Worker body: run one attempt, send ``("ok", result)`` or ``("error", e)``.
 
     Runs in a forked child.  A ``kill`` fault hard-exits before anything is
@@ -133,8 +152,19 @@ def _attempt_child(conn, request, plan, fingerprint, index, attempt) -> None:
     worker crash.  Every exception -- injected or organic -- is reduced to a
     picklable structured :class:`CompileError` (the request itself is
     re-attached by the parent, so worker payloads stay small).
+
+    Under tracing (``trace_ctx`` set) the message grows a third element,
+    ``(spans, counters)``, stitched back by the parent -- including on
+    errors, where the partial trace shows which pass died.
     """
     try:
+        tracer = Tracer(context=trace_ctx) if trace_ctx is not None else None
+
+        def _trace_payload() -> tuple:
+            if tracer is None:
+                return ()
+            return ((tracer.spans, tracer.counters),)
+
         try:
             if plan is not None:
                 from repro.api.faults import apply_execution_faults
@@ -142,11 +172,18 @@ def _attempt_child(conn, request, plan, fingerprint, index, attempt) -> None:
                 apply_execution_faults(
                     plan, fingerprint, index, attempt, in_worker=True
                 )
-            result = _compile(request)
-            conn.send(("ok", result))
+            if tracer is not None:
+                with use_tracer(tracer), tracer.span(
+                    "request", index=index, attempt=attempt
+                ):
+                    result = _compile(request)
+            else:
+                result = _compile(request)
+            conn.send(("ok", result) + _trace_payload())
         except BaseException as exc:
             conn.send(
                 ("error", CompileError.from_exception(exc, attempts=attempt + 1))
+                + _trace_payload()
             )
     except BaseException:
         # The pipe itself failed (parent gone, unpicklable payload...): exit
@@ -199,6 +236,8 @@ class _FaultTolerantRunner:
         self.plan = plan
         self.on_error = on_error
         self.collect = collect  # callback(index, result) for successes
+        self.tracer = current_tracer()
+        self.trace_ctx = self.tracer.context() if self.tracer.enabled else None
 
     def _seed_key(self, index: int) -> str:
         # Backoff is seeded on the request's content address where known
@@ -240,7 +279,8 @@ class _FaultTolerantRunner:
                     apply_execution_faults(
                         self.plan, fingerprint, index, attempt, in_worker=False
                     )
-                return _compile(request)
+                with self.tracer.span("request", index=index, attempt=attempt):
+                    return _compile(request)
             except Exception as exc:
                 error = CompileError.from_exception(
                     exc, attempts=attempt + 1, request=request
@@ -312,6 +352,7 @@ class _FaultTolerantRunner:
                 self.fingerprints[job.index],
                 job.index,
                 job.attempt,
+                self.trace_ctx,
             ),
             daemon=True,
         )
@@ -348,7 +389,10 @@ class _FaultTolerantRunner:
                 message = None  # pipe closed mid-send: classify as a crash
             if message is not None:
                 self._reap(record)
-                kind, value = message
+                kind, value, *extra = message
+                if extra and self.tracer.enabled:
+                    spans, counters = extra[0]
+                    self.tracer.extend(spans, counters)
                 if kind == "ok":
                     return ("ok", value)
                 value.attempts = record.attempt + 1
@@ -449,11 +493,14 @@ def compile_many(
     requests = list(requests)
     cache_store = resolve_cache(cache)
     start = time.perf_counter()
+    tracer = current_tracer()
 
     results: list[CompileResult | CompileError | None] = [None] * len(requests)
     misses: list[int] = []
     fingerprints: list[str | None] = [None] * len(requests)
-    with _cache_fault_window(cache_store, plan):
+    with tracer.span(
+        "batch", requests=len(requests), workers=workers
+    ) as batch_span, _cache_fault_window(cache_store, plan):
         if cache_store is None:
             misses = list(range(len(requests)))
             if plan is not None:
@@ -475,6 +522,13 @@ def compile_many(
         # while the pool itself is sized by the actual miss load.
         effective = min(workers, len(requests) or 1)
         pool_size = min(workers, len(misses) or 1)
+        if tracer.enabled:
+            batch_span.update(
+                {
+                    "cache_hits": len(requests) - len(misses),
+                    "cache_misses": len(misses),
+                }
+            )
 
         # Results are stored as they arrive, so a failing request late in the
         # batch still leaves every already completed sibling cached for the
@@ -493,19 +547,34 @@ def compile_many(
         if not fault_tolerant:
             if pool_size == 1:
                 for index in misses:
-                    _collect(index, _compile(requests[index]))
+                    with tracer.span("request", index=index):
+                        result = _compile(requests[index])
+                    _collect(index, result)
             else:
                 if chunksize is None:
                     chunksize = max(1, len(misses) // (pool_size * 4))
-                miss_requests = [requests[index] for index in misses]
                 with ProcessPoolExecutor(
                     max_workers=pool_size, mp_context=_mp_context()
                 ) as pool:
-                    for index, result in zip(
-                        misses,
-                        pool.map(_compile, miss_requests, chunksize=chunksize),
-                    ):
-                        _collect(index, result)
+                    if tracer.enabled:
+                        # Workers record into child tracers keyed on the batch
+                        # trace context; pool.map yields in miss order, so the
+                        # stitched span sequence matches a serial run.
+                        ctx = tracer.context()
+                        payloads = [(requests[index], index, ctx) for index in misses]
+                        for index, (result, spans, counters) in zip(
+                            misses,
+                            pool.map(_compile_traced, payloads, chunksize=chunksize),
+                        ):
+                            tracer.extend(spans, counters)
+                            _collect(index, result)
+                    else:
+                        miss_requests = [requests[index] for index in misses]
+                        for index, result in zip(
+                            misses,
+                            pool.map(_compile, miss_requests, chunksize=chunksize),
+                        ):
+                            _collect(index, result)
         else:
             runner = _FaultTolerantRunner(
                 requests,

@@ -84,6 +84,7 @@ from repro.api.serialize import (
     result_to_payload,
 )
 from repro.hardware.coupling import CouplingGraph
+from repro.obs.trace import current_tracer
 
 logger = logging.getLogger(__name__)
 
@@ -415,11 +416,13 @@ class CompileCache:
                 self._memory.pop(fingerprint, None)
             else:
                 self.stats[f"{tier}_hits"] += 1
+                current_tracer().count(f"cache.{tier}_hits")
                 if tier == "disk":
                     self._memory_put(fingerprint, payload)
                     self._touch(fingerprint)
                 return result
         self.stats["misses"] += 1
+        current_tracer().count("cache.misses")
         return None
 
     def get(self, request: CompileRequest) -> CompileResult | None:
@@ -435,6 +438,7 @@ class CompileCache:
         if self.directory is not None and not self.readonly:
             self._disk_put(fingerprint, payload)
         self.stats["stores"] += 1
+        current_tracer().count("cache.stores")
 
     def put(self, result: CompileResult) -> str:
         """Store ``result`` under its own request fingerprint."""
@@ -797,6 +801,7 @@ class CompileCache:
             freed += entry.size
         self.stats["evictions"] += len(victims)
         self.stats["evicted_bytes"] += freed
+        current_tracer().count("cache.evictions", len(victims))
         self._meta["evictions"] += len(victims)
         self._meta["evicted_bytes"] += freed
         try:

@@ -44,6 +44,7 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.metrics import total_operations, two_qubit_gate_count
 from repro.circuit.validation import check_connectivity, verify_routing
 from repro.hardware.coupling import CouplingGraph
+from repro.obs.trace import current_tracer
 
 #: Pass execution order (also the key order of ``CompileResult.pass_timings``).
 PASS_ORDER = ("load", "place", "route", "validate", "metrics")
@@ -195,38 +196,70 @@ def compile_uncached(
             raise CompileError(str(exc)) from exc
         timings: dict[str, float] = {}
 
-        phase = "load"
-        start = time.perf_counter()
-        circuit = load_circuit(request.circuit, request.qasm, request.generate)
-        coupling = resolve_backend(request.backend)
-        timings["load"] = time.perf_counter() - start
+        # Tracing is observational only: spans are recorded *around* the
+        # existing pass timing (never replacing it), and the disabled path
+        # pays one thread-local read plus no-op context managers.
+        tracer = current_tracer()
+        with tracer.span("compile", seed=request.seed) as compile_span:
+            phase = "load"
+            start = time.perf_counter()
+            with tracer.span("load"):
+                circuit = load_circuit(request.circuit, request.qasm, request.generate)
+                coupling = resolve_backend(request.backend)
+            timings["load"] = time.perf_counter() - start
 
-        phase = "place"
-        start = time.perf_counter()
-        layout = _place(request, circuit, coupling)
-        timings["place"] = time.perf_counter() - start
+            phase = "place"
+            start = time.perf_counter()
+            with tracer.span("place", placement=request.placement):
+                layout = _place(request, circuit, coupling)
+            timings["place"] = time.perf_counter() - start
 
-        phase = "route"
-        spec = resolve_router(request.router)
-        router = spec.make(coupling, seed=request.seed, config=request.router_config)
-        start = time.perf_counter()
-        routing = router.run(circuit, layout)
-        timings["route"] = time.perf_counter() - start
+            phase = "route"
+            spec = resolve_router(request.router)
+            router = spec.make(coupling, seed=request.seed, config=request.router_config)
+            start = time.perf_counter()
+            with tracer.span("route", router=spec.name) as route_span:
+                routing = router.run(circuit, layout)
+                if tracer.enabled:
+                    route_span.update(
+                        {
+                            "swaps": routing.swaps_added,
+                            "routed_depth": routing.routed_depth,
+                            "cost_evaluations": routing.cost_evaluations,
+                        }
+                    )
+            timings["route"] = time.perf_counter() - start
 
-        phase = "validate"
-        start = time.perf_counter()
-        if request.validation == "connectivity":
-            check_connectivity(routing.routed_circuit, coupling.edges())
-        elif request.validation == "full":
-            verify_routing(
-                circuit, routing.routed_circuit, coupling.edges(), routing.initial_layout
-            )
-        timings["validate"] = time.perf_counter() - start
+            phase = "validate"
+            start = time.perf_counter()
+            with tracer.span("validate", mode=request.validation):
+                if request.validation == "connectivity":
+                    check_connectivity(routing.routed_circuit, coupling.edges())
+                elif request.validation == "full":
+                    verify_routing(
+                        circuit,
+                        routing.routed_circuit,
+                        coupling.edges(),
+                        routing.initial_layout,
+                    )
+            timings["validate"] = time.perf_counter() - start
 
-        phase = "metrics"
-        start = time.perf_counter()
-        metrics = _metrics(request, circuit, coupling, spec.name, routing, timings)
-        timings["metrics"] = time.perf_counter() - start
+            phase = "metrics"
+            start = time.perf_counter()
+            with tracer.span("metrics"):
+                metrics = _metrics(request, circuit, coupling, spec.name, routing, timings)
+            timings["metrics"] = time.perf_counter() - start
+
+            if tracer.enabled:
+                compile_span.update(
+                    {
+                        "router": spec.name,
+                        "backend": coupling.name,
+                        "circuit": request.label or circuit.name,
+                        "num_qubits": circuit.num_qubits,
+                        "num_gates": len(circuit),
+                    }
+                )
 
         return CompileResult(
             request=request,

@@ -232,6 +232,8 @@ class QmapLikeRouter(RoutingEngine):
                             edges.add((p1, p2) if p1 < p2 else (p2, p1))
                     candidates = sorted(edges)
                     memo[footprint] = candidates
+                else:
+                    state.heuristic_cache_hits += 1
 
             next_cost = cost + 1
             base = next_cost - num_pairs

@@ -167,6 +167,33 @@ def _parse_faults(args: argparse.Namespace) -> FaultPlan | None:
         raise CompileError(f"--inject-faults: {exc}") from exc
 
 
+def _start_tracer(args: argparse.Namespace):
+    """A recording tracer when ``--trace-out`` was given, else ``None``."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _write_cli_trace(args: argparse.Namespace, tracer, command: str) -> None:
+    """Flush a command's recorded trace to the ``--trace-out`` JSONL sink."""
+    if tracer is None:
+        return
+    from repro.obs import write_trace
+
+    count = write_trace(
+        args.trace_out,
+        tracer,
+        meta={
+            "tool": f"repro-map {command}",
+            "version": __version__,
+            "trace_id": tracer.trace_id,
+        },
+    )
+    print(f"trace        : {args.trace_out} ({count} spans)")
+
+
 def _command_map(args: argparse.Namespace) -> int:
     _check_circuit_source(args)
     placement = "identity"
@@ -193,7 +220,15 @@ def _command_map(args: argparse.Namespace) -> int:
         validation="full" if args.verify else "none",
     )
     cache = _make_cache(args)
-    result = api_compile(request, cache=cache, faults=_parse_faults(args))
+    faults = _parse_faults(args)
+    tracer = _start_tracer(args)
+    if tracer is not None:
+        from repro.obs import use_tracer
+
+        with use_tracer(tracer):
+            result = api_compile(request, cache=cache, faults=faults)
+    else:
+        result = api_compile(request, cache=cache, faults=faults)
     metrics = result.metrics
     print(
         f"circuit      : {metrics['circuit']} "
@@ -210,6 +245,7 @@ def _command_map(args: argparse.Namespace) -> int:
     if args.output:
         write_qasm_file(result.routed_circuit, args.output)
         print(f"routed QASM  : {args.output}")
+    _write_cli_trace(args, tracer, "map")
     return 0
 
 
@@ -291,22 +327,33 @@ def _command_bench(args: argparse.Namespace) -> int:
     if not args.cache and args.cache_dir is not None:
         raise CompileError("--no-cache and --cache-dir are mutually exclusive")
     _check_cache_bounds(args)
-    record = write_perf_smoke(
-        args.output,
-        rounds=args.rounds,
-        workers=args.workers,
-        quick=args.quick,
-        cache=args.cache,
-        cache_dir=args.cache_dir,
-        cache_max_bytes=args.cache_max_bytes,
-        cache_max_entries=args.cache_max_entries,
-        cache_readonly=args.cache_readonly,
-        timeout=args.timeout,
-        retries=args.retries,
-        faults=_parse_faults(args),
-    )
+    tracer = _start_tracer(args)
+    if tracer is not None:
+        from repro.obs import use_tracer
+
+        install = use_tracer(tracer)
+    else:
+        from contextlib import nullcontext
+
+        install = nullcontext()
+    with install:
+        record = write_perf_smoke(
+            args.output,
+            rounds=args.rounds,
+            workers=args.workers,
+            quick=args.quick,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_entries=args.cache_max_entries,
+            cache_readonly=args.cache_readonly,
+            timeout=args.timeout,
+            retries=args.retries,
+            faults=_parse_faults(args),
+        )
     print(render_trajectory(record))
     print(f"\nwrote {args.output}")
+    _write_cli_trace(args, tracer, "bench")
     failures = record.get("failures", [])
     if failures:
         # A partially-failed run must never look like a healthy trajectory.
@@ -387,6 +434,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         )
     if args.retries < 0:
         raise CompileError("repro-map serve: --retries must be non-negative")
+    if args.log_json:
+        from repro.obs import setup_logging
+
+        setup_logging(verbose=getattr(args, "verbose", False), structured=True)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -399,6 +450,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         faults=_parse_faults(args),
+        trace_out=str(args.trace_out) if args.trace_out is not None else None,
     )
 
     def _announce(port: int) -> None:
@@ -407,6 +459,30 @@ def _command_serve(args: argparse.Namespace) -> int:
         print("               GET /healthz  GET /metrics  POST /admin/drain", flush=True)
 
     return serve_forever(config, ready=_announce)
+
+
+def _command_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import TraceFileError, read_trace, summarize
+
+    try:
+        _, spans, counters = read_trace(args.file)
+    except TraceFileError as exc:
+        raise CompileError(str(exc)) from exc
+    print(summarize(spans, counters))
+    return 0
+
+
+def _command_trace_chrome(args: argparse.Namespace) -> int:
+    from repro.obs import TraceFileError, read_trace, write_chrome_trace
+
+    try:
+        _, spans, counters = read_trace(args.file)
+    except TraceFileError as exc:
+        raise CompileError(str(exc)) from exc
+    output = args.output or args.file.with_suffix(".chrome.json")
+    events = write_chrome_trace(output, spans, counters)
+    print(f"wrote {output} ({events} events; load in Perfetto or chrome://tracing)")
+    return 0
 
 
 def _command_cache_clear(args: argparse.Namespace) -> int:
@@ -450,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     map_parser.add_argument("--verify", action="store_true", help="validate the routed circuit")
     map_parser.add_argument("--output", type=Path, help="write the routed circuit as QASM")
+    map_parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record per-pass spans and kernel counters as a JSONL trace file",
+    )
     _add_cache_arguments(map_parser)
     _add_fault_argument(map_parser)
     map_parser.set_defaults(func=_command_map)
@@ -494,6 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--retries", type=int, default=0, metavar="N",
         help="extra attempts per failed request (deterministic seeded backoff)",
+    )
+    bench_parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="record the whole benchmark batch as a JSONL trace file",
     )
     _add_cache_arguments(bench_parser)
     _add_fault_argument(bench_parser)
@@ -560,8 +644,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0, metavar="N",
         help="extra attempts per failed request (deterministic seeded backoff)",
     )
+    serve_parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="append one JSONL trace fragment per served job to FILE",
+    )
+    serve_parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit JSON-lines log records (for log shippers)",
+    )
     _add_fault_argument(serve_parser)
     serve_parser.set_defaults(func=_command_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="summarize or convert a --trace-out JSONL trace file"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize_parser = trace_subparsers.add_parser(
+        "summarize", help="print the per-phase / per-router breakdown of a trace"
+    )
+    trace_summarize_parser.add_argument(
+        "file", type=Path, help="JSONL trace file written by --trace-out"
+    )
+    trace_summarize_parser.set_defaults(func=_command_trace_summarize)
+    trace_chrome_parser = trace_subparsers.add_parser(
+        "chrome",
+        help="convert a trace to Chrome trace-event JSON (Perfetto-loadable)",
+    )
+    trace_chrome_parser.add_argument(
+        "file", type=Path, help="JSONL trace file written by --trace-out"
+    )
+    trace_chrome_parser.add_argument(
+        "--output", type=Path, default=None,
+        help="output path (default: <file>.chrome.json)",
+    )
+    trace_chrome_parser.set_defaults(func=_command_trace_chrome)
     return parser
 
 
@@ -576,6 +692,9 @@ def main(argv: list[str] | None = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.obs import setup_logging
+
+    setup_logging(verbose=bool(getattr(args, "verbose", False)))
     try:
         return args.func(args)
     except (CompileError, UnknownRouterError) as exc:
@@ -587,6 +706,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     except (KeyboardInterrupt, SystemExit):
         raise
+    except BrokenPipeError:
+        # The stdout consumer went away (`repro-map trace summarize | head`).
+        # Detach from the dead pipe so the interpreter's exit flush cannot
+        # raise again, and exit quietly -- this is not a compile failure.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except Exception as exc:
         # The CLI boundary: an unroutable circuit/backend pair (or any other
         # pipeline failure) surfaces as a structured one-line failure record,

@@ -89,6 +89,8 @@ class QlosureRouter(RoutingEngine):
                 front_only=self.config.lookahead_only_front,
             )
             self._window_signature = signature
+        else:
+            state.heuristic_cache_hits += 1
         window = self._window
         scorer = WindowScorer(state, window, self._weights, self._decay, self.config)
         score = scorer.score

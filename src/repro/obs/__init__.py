@@ -1,0 +1,79 @@
+"""``repro.obs`` -- tracing, telemetry and logging for the whole stack.
+
+One subsystem, three concerns:
+
+* **Tracing** (:mod:`repro.obs.trace`): structured spans (name, parent,
+  attributes, monotonic start/duration) and counters recorded through a
+  per-thread *current tracer*.  The default is a no-op tracer, so the
+  disabled path costs almost nothing; installing a real
+  :class:`~repro.obs.trace.Tracer` with
+  :func:`~repro.obs.trace.use_tracer` turns the same instrumentation into a
+  full end-to-end trace -- pipeline passes, routing-kernel counters, cache
+  events, batch fan-out (worker spans stitch under the parent trace id) and
+  service requests.  Tracing is observational only: traced output is
+  bit-for-bit identical to untraced, and recorded wall-clock values never
+  feed fingerprints or golden hashes.
+* **Metrics** (:mod:`repro.obs.metrics`): the one counter/histogram registry
+  implementation, shared by ``repro.serve`` (JSON *and* Prometheus text
+  exposition on ``GET /metrics``).
+* **Logging** (:mod:`repro.obs.logging_setup`): the single process-level
+  logging configuration behind ``-v/--verbose`` and ``REPRO_LOG=``, with a
+  JSON-lines option for the service.
+
+Exporters (:mod:`repro.obs.export`): a JSONL sink (``--trace-out`` on
+``map``/``bench``/``serve``), a Chrome trace-event JSON export loadable in
+Perfetto / ``chrome://tracing``, and the ``repro-map trace summarize``
+per-phase / per-router breakdown.
+"""
+
+from repro.obs.export import (
+    TraceFileError,
+    append_trace,
+    read_trace,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.logging_setup import LOG_ENV, parse_log_spec, setup_logging
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    prometheus_name,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    current_tracer,
+    new_trace_id,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "new_trace_id",
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_BUCKET_BOUNDS",
+    "prometheus_name",
+    "write_trace",
+    "append_trace",
+    "read_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "summarize",
+    "TraceFileError",
+    "setup_logging",
+    "parse_log_spec",
+    "LOG_ENV",
+]

@@ -1,0 +1,228 @@
+"""Trace exporters: JSONL sink, Chrome trace-event JSON, summary tables.
+
+The on-disk trace format is JSON lines -- one self-describing record per
+line, appendable (the service streams request traces into one file without
+rewriting it):
+
+* ``{"type": "meta", ...}``      producer stamp (tool, version, command),
+* ``{"type": "span", ...}``      one :class:`~repro.obs.trace.Span` record,
+* ``{"type": "counters", ...}``  a named-counter snapshot for one trace.
+
+:func:`to_chrome_trace` converts spans to the Chrome trace-event format
+(``{"traceEvents": [...]}`` with complete ``"ph": "X"`` events), loadable in
+Perfetto or ``chrome://tracing``: span start/duration map to microsecond
+``ts``/``dur``, the recording pid becomes the trace ``pid`` (so a stitched
+multi-process batch renders as one lane per worker), and attributes travel
+in ``args``.  :func:`summarize` renders the per-phase / per-router breakdown
+table behind ``repro-map trace summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "write_trace",
+    "append_trace",
+    "read_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "summarize",
+]
+
+
+class TraceFileError(ValueError):
+    """An unreadable or malformed trace file."""
+
+
+def _records(tracer: Tracer, meta: dict | None) -> list[dict]:
+    records: list[dict] = []
+    if meta is not None:
+        records.append({"type": "meta", **meta})
+    records.extend(span.to_record() for span in tracer.spans)
+    if tracer.counters:
+        records.append(
+            {
+                "type": "counters",
+                "trace_id": tracer.trace_id,
+                "counters": dict(sorted(tracer.counters.items())),
+            }
+        )
+    return records
+
+
+def write_trace(path: str | Path, tracer: Tracer, meta: dict | None = None) -> int:
+    """Write one tracer's spans + counters as a fresh JSONL file.
+
+    Returns the number of span records written.
+    """
+    path = Path(path)
+    lines = [json.dumps(record, sort_keys=True) for record in _records(tracer, meta)]
+    path.write_text("\n".join(lines) + "\n" if lines else "")
+    return len(tracer.spans)
+
+
+def append_trace(path: str | Path, tracer: Tracer, meta: dict | None = None) -> int:
+    """Append one tracer's records to an existing (or new) JSONL file.
+
+    This is the service sink: each finished request appends its own trace,
+    so one long-running process accumulates one file of many traces.
+    """
+    path = Path(path)
+    lines = [json.dumps(record, sort_keys=True) for record in _records(tracer, meta)]
+    if lines:
+        with path.open("a") as handle:
+            handle.write("\n".join(lines) + "\n")
+    return len(tracer.spans)
+
+
+def read_trace(path: str | Path) -> tuple[list[dict], list[Span], dict[str, int]]:
+    """Parse a JSONL trace file into ``(meta records, spans, merged counters)``.
+
+    Counters from multiple traces in one file merge additively.  Raises
+    :class:`TraceFileError` on unreadable files or malformed lines.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise TraceFileError(f"cannot read trace file {path}: {exc}") from exc
+    metas: list[dict] = []
+    spans: list[Span] = []
+    counters: dict[str, int] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise TraceFileError(f"{path}:{number}: not valid JSON: {exc}") from exc
+        kind = record.get("type") if isinstance(record, dict) else None
+        if kind == "span":
+            try:
+                spans.append(Span.from_record(record))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceFileError(f"{path}:{number}: malformed span record: {exc}") from exc
+        elif kind == "counters":
+            for name, value in (record.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + int(value)
+        elif kind == "meta":
+            metas.append(record)
+        else:
+            raise TraceFileError(f"{path}:{number}: unknown record type {kind!r}")
+    return metas, spans, counters
+
+
+def to_chrome_trace(spans: list[Span], counters: dict[str, int] | None = None) -> dict:
+    """Chrome trace-event JSON (object format) for a list of spans.
+
+    Every span becomes a complete event (``"ph": "X"``) with microsecond
+    ``ts``/``dur`` relative to the earliest span in its process, so lanes
+    from different (forked) processes each start at zero instead of at
+    incomparable absolute monotonic stamps.
+    """
+    events: list[dict] = []
+    base_by_pid: dict[int, float] = {}
+    for span in spans:
+        base = base_by_pid.get(span.pid)
+        if base is None or span.start < base:
+            base_by_pid[span.pid] = span.start
+    for span in spans:
+        args = dict(span.attributes)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "cat": "repro",
+                "ts": round((span.start - base_by_pid[span.pid]) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": span.pid,
+                "tid": span.pid,
+                "args": args,
+            }
+        )
+    trace: dict = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if counters:
+        trace["otherData"] = {"counters": dict(sorted(counters.items()))}
+    return trace
+
+
+def write_chrome_trace(
+    path: str | Path, spans: list[Span], counters: dict[str, int] | None = None
+) -> int:
+    """Write the Chrome trace-event export; returns the event count."""
+    trace = to_chrome_trace(spans, counters)
+    Path(path).write_text(json.dumps(trace, sort_keys=True, indent=2) + "\n")
+    return len(trace["traceEvents"])
+
+
+def _stat_row(name: str, durations: list[float]) -> tuple:
+    total = sum(durations)
+    return (name, len(durations), total, total / len(durations), max(durations))
+
+
+def _render_rows(header: str, rows: list[tuple]) -> list[str]:
+    lines = [
+        header,
+        f"  {'name':24s} {'count':>6s} {'total s':>10s} {'mean s':>10s} {'max s':>10s}",
+    ]
+    for name, count, total, mean, peak in rows:
+        lines.append(
+            f"  {name:24s} {count:6d} {total:10.4f} {mean:10.4f} {peak:10.4f}"
+        )
+    return lines
+
+
+def summarize(spans: list[Span], counters: dict[str, int] | None = None) -> str:
+    """The per-phase / per-router breakdown table for one trace file."""
+    if not spans and not counters:
+        return "empty trace (no spans, no counters)"
+    lines: list[str] = []
+    trace_ids = sorted({span.trace_id for span in spans})
+    pids = sorted({span.pid for span in spans})
+    if spans:
+        lines.append(
+            f"{len(spans)} span(s) across {len(trace_ids)} trace(s), "
+            f"{len(pids)} process(es)"
+        )
+        by_name: dict[str, list[float]] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span.duration)
+        lines.append("")
+        lines.extend(
+            _render_rows(
+                "per-phase:",
+                [_stat_row(name, durations) for name, durations in sorted(by_name.items())],
+            )
+        )
+        by_router: dict[str, list[float]] = {}
+        for span in spans:
+            if span.name == "route" and "router" in span.attributes:
+                by_router.setdefault(str(span.attributes["router"]), []).append(
+                    span.duration
+                )
+        if by_router:
+            lines.append("")
+            lines.extend(
+                _render_rows(
+                    "route pass per router:",
+                    [
+                        _stat_row(name, durations)
+                        for name, durations in sorted(by_router.items())
+                    ],
+                )
+            )
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:{width}s} {value}")
+    return "\n".join(lines)

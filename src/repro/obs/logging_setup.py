@@ -1,0 +1,125 @@
+"""One logging configuration for the whole stack.
+
+Every module in this repository logs through ``logging.getLogger(__name__)``
+and configures nothing -- the library must stay silent-by-default under
+embedding applications.  :func:`setup_logging` is the single place a
+*process* (the CLI, the service, a test harness) turns that logging on:
+
+* ``repro-map -v/--verbose``  -> DEBUG on the ``repro`` logger tree,
+* ``REPRO_LOG=LEVEL``         -> that level (``REPRO_LOG=debug``),
+* ``REPRO_LOG=repro.api.cache=DEBUG,INFO`` -> per-logger overrides plus a
+  default level (comma-separated, ``name=LEVEL`` or bare ``LEVEL``),
+* ``structured=True``         -> JSON-lines records (one object per line:
+  monotonic-free wall timestamp, level, logger, message) for the service,
+  where log shippers want machine-readable output.
+
+The function is idempotent: it owns exactly one handler on the ``repro``
+logger (marked with an attribute), replacing it on reconfiguration instead
+of stacking duplicates, and never touches the root logger.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+__all__ = ["LOG_ENV", "setup_logging", "parse_log_spec"]
+
+#: Environment variable configuring the default log level / per-logger levels.
+LOG_ENV = "REPRO_LOG"
+
+#: Attribute marking the handler owned by :func:`setup_logging`.
+_MANAGED_FLAG = "_repro_managed_handler"
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True)
+
+
+def parse_log_spec(spec: str) -> tuple[int | None, dict[str, int]]:
+    """Parse a ``REPRO_LOG`` value into ``(default level, per-logger levels)``.
+
+    The spec is comma-separated; each item is either a bare level name
+    (``debug``, ``INFO``, ``30``...) setting the default, or
+    ``logger.name=LEVEL`` for one subtree.  Raises :class:`ValueError` on
+    unknown level names so a typo fails loudly instead of silencing logs.
+    """
+    default: int | None = None
+    per_logger: dict[str, int] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, level_text = item.partition("=")
+        level_text = level_text.strip() if sep else name.strip()
+        level = logging.getLevelName(level_text.upper())
+        if not isinstance(level, int):
+            try:
+                level = int(level_text)
+            except ValueError:
+                raise ValueError(
+                    f"{LOG_ENV}: unknown log level {level_text!r} in {spec!r}"
+                ) from None
+        if sep:
+            per_logger[name.strip()] = level
+        else:
+            default = level
+    return default, per_logger
+
+
+def setup_logging(
+    verbose: bool = False,
+    level: int | None = None,
+    structured: bool = False,
+    stream=None,
+    env: dict | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the configured logger.
+
+    Precedence for the default level: explicit ``level`` argument, then the
+    ``REPRO_LOG`` default, then DEBUG under ``verbose``, then WARNING.
+    Per-logger ``REPRO_LOG`` overrides always apply on top.
+    """
+    environ = os.environ if env is None else env
+    env_default: int | None = None
+    per_logger: dict[str, int] = {}
+    spec = environ.get(LOG_ENV)
+    if spec:
+        env_default, per_logger = parse_log_spec(spec)
+    if level is None:
+        level = env_default
+    if level is None:
+        level = logging.DEBUG if verbose else logging.WARNING
+
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.propagate = False
+    handler = logging.StreamHandler(stream or sys.stderr)
+    setattr(handler, _MANAGED_FLAG, True)
+    if structured:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        formatter = logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    for existing in list(logger.handlers):
+        if getattr(existing, _MANAGED_FLAG, False):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    for name, sub_level in per_logger.items():
+        logging.getLogger(name).setLevel(sub_level)
+    return logger

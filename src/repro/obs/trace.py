@@ -1,0 +1,326 @@
+"""Structured tracing: spans, counters and one current tracer per thread.
+
+A :class:`Span` is a named, timed unit of work (one pipeline pass, one
+request, one batch) carrying a trace id, a parent span id and free-form
+attributes.  A :class:`Tracer` records spans and named counters for one
+logical *trace* -- typically one CLI invocation, one batch, or one HTTP
+request -- and is installed as the *current* tracer with :func:`use_tracer`.
+Instrumented code never takes a tracer argument: it calls
+:func:`current_tracer` and emits through whatever is installed, which by
+default is the process-wide :data:`NULL_TRACER`.
+
+Design constraints (the ISSUE-10 contract):
+
+* **Observational only.**  Tracing must never change a routed bit.  Span
+  timestamps come from :func:`time.perf_counter` (monotonic, wall-clock
+  free) and are *recorded*, never consumed by the pipeline: no fingerprint,
+  golden hash or routing decision ever reads a span.
+* **Near-zero disabled cost.**  The default :data:`NULL_TRACER` implements
+  the full API as no-ops: ``span()`` returns one shared null context
+  manager, ``count()`` returns immediately, ``current()`` is ``None``.  The
+  hot path pays one thread-local read and a couple of attribute lookups per
+  pass -- the ``tests/obs/test_overhead.py`` gate pins this below 2 % of the
+  perf-smoke routing time.
+* **Cross-process stitching.**  :meth:`Tracer.context` captures a picklable
+  ``(trace_id, parent span id)`` handle; a worker process builds its own
+  ``Tracer(context=...)`` from it, records spans locally and ships them back
+  (spans are plain picklable dataclasses), and the parent folds them in with
+  :meth:`Tracer.extend`.  Span ids embed the recording process id, so
+  stitched traces never collide.
+
+The per-thread installation (``use_tracer``) matters for ``repro-serve``:
+concurrent requests execute on different executor threads, each under its
+own request tracer, without stomping a process-wide global.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "new_trace_id",
+]
+
+#: Monotonic id sources.  Plain counters (no wall clock, no RNG): uniqueness
+#: only has to hold per process, and span ids additionally embed the pid.
+_trace_ids = itertools.count(1)
+_span_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A process-unique trace id (pid-prefixed counter, no wall clock)."""
+    return f"{os.getpid():x}-{next(_trace_ids):06x}"
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}.{next(_span_ids):x}"
+
+
+@dataclass
+class Span:
+    """One named, timed unit of work inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    #: Monotonic (:func:`time.perf_counter`) start stamp in seconds.  Only
+    #: meaningful relative to other spans recorded in the same process.
+    start: float = 0.0
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    #: Pid of the recording process (how a stitched trace shows its fan-out).
+    pid: int = field(default_factory=os.getpid)
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute (chainable-free, call-site friendly)."""
+        self.attributes[key] = value
+
+    def update(self, attributes: dict) -> None:
+        self.attributes.update(attributes)
+
+    def to_record(self) -> dict:
+        """The JSONL wire form (see :mod:`repro.obs.export`)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+            "pid": self.pid,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Span":
+        return cls(
+            name=record["name"],
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start=float(record.get("start", 0.0)),
+            duration=float(record.get("duration", 0.0)),
+            attributes=dict(record.get("attributes") or {}),
+            pid=int(record.get("pid", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable propagation handle: which trace a child should record into."""
+
+    trace_id: str
+    parent_span_id: str | None = None
+
+
+class _ActiveSpan:
+    """Context manager recording one span on exit (LIFO per-thread stack)."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, key: str, value) -> None:
+        self.span.set(key, value)
+
+    def update(self, attributes: dict) -> None:
+        self.span.update(attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self.span)
+        self.span.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.span.duration = time.perf_counter() - self.span.start
+        if exc_type is not None:
+            self.span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+        return None
+
+
+class _NullSpan:
+    """The shared do-nothing active span of the null tracer."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def update(self, attributes: dict) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records structured spans and counters for one trace.
+
+    Thread-safe for *recording* (finished spans and counters append under a
+    lock, so ``repro-serve`` executor threads and stitched worker spans can
+    share one sink), while the active-span stack is thread-local so nested
+    spans parent correctly per thread.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        context: TraceContext | None = None,
+    ):
+        if context is not None and trace_id is not None:
+            raise ValueError("pass either trace_id or context, not both")
+        if context is not None:
+            self.trace_id = context.trace_id
+            self._root_parent = context.parent_span_id
+        else:
+            self.trace_id = trace_id or new_trace_id()
+            self._root_parent = None
+        self.spans: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    # -- span recording ------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> _ActiveSpan:
+        """An active span context manager; records the span on exit."""
+        parent = self.current()
+        return _ActiveSpan(
+            self,
+            Span(
+                name=name,
+                trace_id=self.trace_id,
+                span_id=_new_span_id(),
+                parent_id=parent.span_id if parent is not None else self._root_parent,
+                attributes=attributes,
+            ),
+        )
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread (attribute attachment point)."""
+        stack = getattr(self._stacks, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._stacks, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter (cache hits, kernel cost evaluations...)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    # -- stitching -----------------------------------------------------------
+
+    def context(self) -> TraceContext:
+        """The propagation handle for a child process/thread.
+
+        The innermost open span (if any) becomes the children's parent, so
+        worker spans stitch under the span that scheduled them.
+        """
+        current = self.current()
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span_id=current.span_id if current is not None else self._root_parent,
+        )
+
+    def extend(self, spans: list[Span], counters: dict[str, int] | None = None) -> None:
+        """Fold spans (and counters) recorded elsewhere into this trace."""
+        with self._lock:
+            self.spans.extend(spans)
+        for name, amount in (counters or {}).items():
+            self.count(name, amount)
+
+
+class NullTracer:
+    """API-compatible no-op tracer (the process default).
+
+    Every method returns immediately; ``span()`` hands back one shared null
+    context manager, so the disabled hot path allocates nothing.
+    """
+
+    enabled = False
+    trace_id = None
+    spans: list = []
+    counters: dict = {}
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def count(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id="null")
+
+    def extend(self, spans, counters=None) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+#: Per-thread tracer installation; the process default stays the null tracer.
+_installed = threading.local()
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The tracer instrumented code should emit through (never ``None``)."""
+    return getattr(_installed, "tracer", None) or NULL_TRACER
+
+
+class use_tracer:
+    """Install ``tracer`` as this thread's current tracer for a ``with`` block."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer | NullTracer):
+        self._tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = getattr(_installed, "tracer", None)
+        _installed.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _installed.tracer = self._previous
+        return None

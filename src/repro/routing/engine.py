@@ -63,6 +63,7 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import CircuitDAG
 from repro.circuit.gate import Gate
 from repro.hardware.coupling import CouplingGraph
+from repro.obs.trace import current_tracer
 from repro.routing.layout import Layout
 from repro.routing.result import RoutingResult
 
@@ -131,6 +132,12 @@ class RoutingState:
         self._front_pairs: list[tuple[int, int]] = []
         self._front_physical: set[int] = set()
         self._candidates: list[tuple[int, int]] = []
+        # Kernel telemetry (reported via the tracer only -- never serialized
+        # into results, so traced and untraced payloads stay bit-identical).
+        self.front_rebuilds = 0
+        self.candidate_builds = 0
+        self.candidate_total = 0
+        self.heuristic_cache_hits = 0
 
     def gate(self, index: int) -> Gate:
         """The gate at circuit index ``index``."""
@@ -211,6 +218,7 @@ class RoutingState:
         self._front_physical = front_physical
         self._candidates = self._build_candidates(front_physical)
         self._front_dirty = False
+        self.front_rebuilds += 1
 
     def _build_candidates(self, front_physical: set[int]) -> list[tuple[int, int]]:
         neighbor_table = self._neighbor_table
@@ -218,7 +226,19 @@ class RoutingState:
         for p1 in front_physical:
             for p2 in neighbor_table[p1]:
                 candidates.add((p1, p2) if p1 < p2 else (p2, p1))
+        self.candidate_builds += 1
+        self.candidate_total += len(candidates)
         return sorted(candidates)
+
+    def kernel_counters(self) -> dict[str, int]:
+        """The routing-kernel work counters accumulated during one run."""
+        return {
+            "cost_evaluations": self.cost_evaluations,
+            "front_rebuilds": self.front_rebuilds,
+            "candidate_builds": self.candidate_builds,
+            "candidate_total": self.candidate_total,
+            "heuristic_cache_hits": self.heuristic_cache_hits,
+        }
 
     def unresolved_front(self) -> list[int]:
         """Front-layer two-qubit gates that are not executable yet (cached view)."""
@@ -358,6 +378,15 @@ class RoutingEngine:
         routed = QuantumCircuit(
             self.coupling.num_qubits, state.emitted, name=f"{circuit.name}-{self.name}"
         )
+        tracer = current_tracer()
+        if tracer.enabled:
+            span = tracer.current()
+            counters = state.kernel_counters()
+            counters["swaps_applied"] = swaps_applied
+            for key, value in counters.items():
+                tracer.count(f"kernel.{key}", value)
+                if span is not None:
+                    span.set(f"kernel.{key}", value)
         return RoutingResult(
             routed_circuit=routed,
             initial_layout=initial_placement,

@@ -1,92 +1,31 @@
-"""Service metrics: counters plus fixed-bucket latency histograms.
+"""Service metrics: a thin facade over the shared :mod:`repro.obs.metrics`.
+
+The service used to carry its own counter/histogram registry; that
+implementation now lives in :mod:`repro.obs.metrics` as the one telemetry
+registry for the whole stack, and this module keeps the service-facing names
+(``ServeMetrics``, ``Histogram``, ``DEFAULT_BUCKET_BOUNDS``) stable for
+existing imports and tests.
 
 All mutation happens on the service's event-loop thread (worker coroutines
 observe timings *after* their executor call returns), so the registry needs
 no locks.  ``snapshot()`` renders everything as one JSON-safe dict -- the
 body of the ``GET /metrics`` endpoint -- with live gauges (queue depth,
 in-flight count) supplied by the service at snapshot time so they are always
-current rather than last-event stale.
+current rather than last-event stale; ``prometheus()`` renders the same
+registry as Prometheus text exposition for
+``GET /metrics?format=prometheus``.
 """
 
 from __future__ import annotations
 
-#: Default histogram bucket upper bounds in seconds.  Spans the observed
-#: per-pass range of the pinned workloads (sub-millisecond loads up to
-#: multi-second qmap routes); everything slower lands in the overflow bucket.
-DEFAULT_BUCKET_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+from repro.obs.metrics import (  # noqa: F401 - re-exported service names
+    DEFAULT_BUCKET_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["ServeMetrics", "Histogram", "DEFAULT_BUCKET_BOUNDS"]
 
 
-class Histogram:
-    """A fixed-bucket latency histogram (seconds).
-
-    Cumulative-style rendering is deliberately avoided: each bucket reports
-    only its own count, so the JSON payload is directly plottable without
-    de-accumulation.
-    """
-
-    def __init__(self, bounds=DEFAULT_BUCKET_BOUNDS):
-        self.bounds = tuple(float(b) for b in bounds)
-        if any(b <= 0 for b in self.bounds) or list(self.bounds) != sorted(self.bounds):
-            raise ValueError("histogram bounds must be positive and ascending")
-        self.counts = [0] * (len(self.bounds) + 1)  # + overflow bucket
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        seconds = max(0.0, float(seconds))
-        self.count += 1
-        self.total += seconds
-        self.max = max(self.max, seconds)
-        for index, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
-
-    def snapshot(self) -> dict:
-        buckets = {f"<={bound:g}": count for bound, count in zip(self.bounds, self.counts)}
-        buckets[f">{self.bounds[-1]:g}"] = self.counts[-1]
-        return {
-            "count": self.count,
-            "sum_seconds": round(self.total, 6),
-            "max_seconds": round(self.max, 6),
-            "mean_seconds": round(self.total / self.count, 6) if self.count else 0.0,
-            "buckets": buckets,
-        }
-
-
-class ServeMetrics:
+class ServeMetrics(MetricsRegistry):
     """The service-wide metric registry (counters + named histograms)."""
-
-    def __init__(self):
-        self._counters: dict[str, int] = {}
-        self._histograms: dict[str, Histogram] = {}
-
-    def increment(self, name: str, amount: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + int(amount)
-
-    def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
-
-    def observe(self, name: str, seconds: float) -> None:
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram()
-        histogram.observe(seconds)
-
-    def snapshot(self, gauges: dict | None = None, extra_counters: dict | None = None) -> dict:
-        """Render everything JSON-safe.  ``extra_counters`` lets the service
-        merge counters owned by another subsystem (the shared cache's
-        eviction totals) into the same flat namespace scrapers watch."""
-        counters = dict(self._counters)
-        for name, value in (extra_counters or {}).items():
-            counters[name] = counters.get(name, 0) + int(value)
-        return {
-            "counters": dict(sorted(counters.items())),
-            "gauges": dict(gauges or {}),
-            "latency_seconds": {
-                name: histogram.snapshot()
-                for name, histogram in sorted(self._histograms.items())
-            },
-        }

@@ -39,6 +39,7 @@ import asyncio
 import json
 import logging
 import math
+import threading
 import time
 import urllib.parse
 from collections import deque
@@ -50,6 +51,8 @@ from repro.api.cache import CompileCache, request_fingerprint
 from repro.api.request import CompileRequest
 from repro.api.result import CompileError, CompileResult
 from repro.api.serialize import result_to_payload
+from repro.obs.export import append_trace
+from repro.obs.trace import Tracer, new_trace_id, use_tracer
 from repro.serve.jobs import Job, JobTable
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
@@ -83,6 +86,8 @@ class ServeConfig:
     timeout: float | None = None
     retries: int = 0
     faults: object | None = None  # FaultPlan | None
+    #: JSONL trace sink: each finished job appends its request trace here.
+    trace_out: str | None = None
 
     def check(self) -> None:
         if self.workers < 1:
@@ -109,11 +114,16 @@ class ServeConfig:
 
 @dataclass
 class Response:
-    """One handler outcome: HTTP status, JSON body, extra headers."""
+    """One handler outcome: HTTP status, JSON body, extra headers.
+
+    ``text`` switches the wire encoding to ``text/plain`` (the Prometheus
+    exposition endpoint); the JSON ``body`` is ignored when it is set.
+    """
 
     status: int
     body: dict
     headers: dict = field(default_factory=dict)
+    text: str | None = None
 
 
 class CompileService:
@@ -142,6 +152,8 @@ class CompileService:
         self._drain_watcher: asyncio.Task | None = None
         #: Recent execution times, for the 429 Retry-After estimate.
         self._recent_seconds: deque[float] = deque(maxlen=32)
+        #: Serialises trace-sink appends across executor threads.
+        self._trace_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -175,20 +187,47 @@ class CompileService:
     # -- dispatch ------------------------------------------------------------
 
     async def handle(self, method: str, path: str, query: dict | None = None, body=None) -> Response:
-        """Route one request to its handler (the socket-free entry point)."""
-        query = query or {}
+        """Route one request to its handler (the socket-free entry point).
+
+        Every response is tagged with a per-request trace id: an
+        ``X-Trace-Id`` header always, a top-level ``trace_id`` body key on
+        JSON responses.  With ``--trace-out`` configured the same id names
+        the request's span fragment in the sink file, so a client-side
+        failure report can be joined to the server-side trace.
+        """
+        trace_id = new_trace_id()
+        response = await self._dispatch(method, path, query or {}, body, trace_id)
+        response.headers.setdefault("X-Trace-Id", trace_id)
+        if response.text is None and isinstance(response.body, dict):
+            response.body.setdefault("trace_id", trace_id)
+        return response
+
+    async def _dispatch(
+        self, method: str, path: str, query: dict, body, trace_id: str
+    ) -> Response:
         self.metrics.increment("http_requests")
         try:
             if path == "/healthz" and method == "GET":
                 return Response(200, self.healthz_payload())
             if path == "/metrics" and method == "GET":
+                if str(query.get("format", "")).lower() in ("prometheus", "text"):
+                    return Response(
+                        200,
+                        {},
+                        headers={
+                            "Content-Type": "text/plain; version=0.0.4; charset=utf-8"
+                        },
+                        text=self.prometheus_payload(),
+                    )
                 return Response(200, self.metrics_payload())
             if path == "/v1/compile" and method == "POST":
                 return await self.handle_compile(
-                    body, wait=str(query.get("async", "")).lower() not in ("1", "true")
+                    body,
+                    wait=str(query.get("async", "")).lower() not in ("1", "true"),
+                    trace_id=trace_id,
                 )
             if path == "/v1/batch" and method == "POST":
-                return await self.handle_batch(body)
+                return await self.handle_batch(body, trace_id=trace_id)
             if path.startswith("/v1/jobs/") and method == "GET":
                 return self.handle_job(path[len("/v1/jobs/"):])
             if path == "/admin/drain" and method == "POST":
@@ -204,7 +243,9 @@ class CompileService:
 
     # -- endpoint handlers ---------------------------------------------------
 
-    async def handle_compile(self, body, wait: bool = True) -> Response:
+    async def handle_compile(
+        self, body, wait: bool = True, trace_id: str | None = None
+    ) -> Response:
         """``POST /v1/compile``: admit, coalesce or reject one request.
 
         Admission is fully synchronous (no awaits) from decode through
@@ -240,6 +281,7 @@ class CompileService:
             self.metrics.increment("coalesced")
         else:
             job = self.jobs.create(fingerprint, priority, kind="compile")
+            job.trace_id = trace_id or new_trace_id()
             try:
                 self.queue.put_nowait((job, request, time.monotonic()), priority)
             except QueueFull:
@@ -258,7 +300,7 @@ class CompileService:
         status, response = await asyncio.shield(job.future)
         return Response(status, response)
 
-    async def handle_batch(self, body) -> Response:
+    async def handle_batch(self, body, trace_id: str | None = None) -> Response:
         """``POST /v1/batch``: one queue slot, ``compile_many`` underneath.
 
         The whole batch is admitted as a single job so backpressure and drain
@@ -272,6 +314,7 @@ class CompileService:
             self.metrics.increment("rejected_draining")
             return Response(503, error_body("server is draining; not accepting new work"))
         job = self.jobs.create(None, priority, kind="batch")
+        job.trace_id = trace_id or new_trace_id()
         try:
             self.queue.put_nowait((job, requests, time.monotonic()), priority)
         except QueueFull:
@@ -322,19 +365,24 @@ class CompileService:
             "jobs": self.jobs.counts(),
         }
 
+    def _gauges(self) -> dict:
+        return {
+            "queue_depth": self.queue.qsize(),
+            "queue_maxsize": self.queue.maxsize,
+            "in_flight": self.jobs.in_flight_count(),
+            "running": self.jobs.running_count(),
+            "draining": self.draining,
+        }
+
+    def _extra_counters(self) -> dict:
+        return {
+            "cache_evictions": self.cache.stats["evictions"],
+            "cache_evicted_bytes": self.cache.stats["evicted_bytes"],
+        }
+
     def metrics_payload(self) -> dict:
         snapshot = self.metrics.snapshot(
-            gauges={
-                "queue_depth": self.queue.qsize(),
-                "queue_maxsize": self.queue.maxsize,
-                "in_flight": self.jobs.in_flight_count(),
-                "running": self.jobs.running_count(),
-                "draining": self.draining,
-            },
-            extra_counters={
-                "cache_evictions": self.cache.stats["evictions"],
-                "cache_evicted_bytes": self.cache.stats["evicted_bytes"],
-            },
+            gauges=self._gauges(), extra_counters=self._extra_counters()
         )
         # The same stats helper `repro-map cache info` prints: the service's
         # warm cache is the whole point of running a daemon, so its hit/miss
@@ -342,6 +390,12 @@ class CompileService:
         snapshot["cache"] = self.cache.info()
         snapshot["version"] = __version__
         return snapshot
+
+    def prometheus_payload(self) -> str:
+        """``GET /metrics?format=prometheus``: the same registry, text format."""
+        return self.metrics.prometheus(
+            gauges=self._gauges(), extra_counters=self._extra_counters()
+        )
 
     # -- execution -----------------------------------------------------------
 
@@ -366,7 +420,9 @@ class CompileService:
                     runner = self._run_batch
                 else:
                     runner = self._run_compile
-                status, response = await loop.run_in_executor(None, runner, work)
+                status, response = await loop.run_in_executor(
+                    None, self._run_traced, runner, work, job
+                )
             except Exception as exc:  # the executor call itself failed
                 logger.exception("worker execution failed for %s", job.id)
                 status, response = compile_error_body(CompileError.from_exception(exc))
@@ -378,6 +434,30 @@ class CompileService:
             else:
                 self.metrics.increment("failures")
             self.jobs.finish(job, status, response)
+
+    def _run_traced(self, runner, work, job: Job) -> tuple[int, dict]:
+        """Run one job in the executor thread, under a tracer when sinking.
+
+        Without ``--trace-out`` this is a plain passthrough (no tracer, no
+        overhead).  With it, the job executes under its own request tracer
+        (keyed on the job's trace id, so the sink record joins the id the
+        client saw) and the finished fragment appends to the JSONL sink
+        under a lock -- executor threads share one file.
+        """
+        if self.config.trace_out is None:
+            return runner(work)
+        tracer = Tracer(trace_id=getattr(job, "trace_id", None))
+        with use_tracer(tracer):
+            with tracer.span("serve.request", kind=job.kind, job=job.id) as span:
+                status, response = runner(work)
+                span.set("status", status)
+        with self._trace_lock:
+            append_trace(
+                self.config.trace_out,
+                tracer,
+                meta={"tool": "repro-serve", "version": __version__, "job": job.id},
+            )
+        return status, response
 
     def _run_compile(self, request: CompileRequest) -> tuple[int, dict]:
         """Run one compile in the worker thread (the blocking hot path).
@@ -467,15 +547,21 @@ _STATUS_REASONS = {
 
 
 def _encode_response(response: Response) -> bytes:
-    body = json.dumps(response.body, sort_keys=True).encode()
+    extra = dict(response.headers)
+    if response.text is not None:
+        body = response.text.encode()
+        content_type = extra.pop("Content-Type", "text/plain; charset=utf-8")
+    else:
+        body = json.dumps(response.body, sort_keys=True).encode()
+        content_type = extra.pop("Content-Type", "application/json")
     reason = _STATUS_REASONS.get(response.status, "Unknown")
     headers = [
         f"HTTP/1.1 {response.status} {reason}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         "Connection: close",
     ]
-    headers.extend(f"{name}: {value}" for name, value in response.headers.items())
+    headers.extend(f"{name}: {value}" for name, value in extra.items())
     return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
 
 

@@ -1,0 +1,86 @@
+"""CLI trace surface: ``--trace-out`` on map, ``trace summarize/chrome``."""
+
+import json
+
+from repro.cli import main
+from repro.obs.export import read_trace
+
+
+def run_map_with_trace(tmp_path, capsys):
+    trace_file = tmp_path / "run.trace.jsonl"
+    # --no-cache: the process-default cache would turn repeat runs into
+    # hits, which record no pass spans -- each test wants a full pipeline.
+    code = main(
+        [
+            "map",
+            "--generate",
+            "ghz:6",
+            "--backend",
+            "ankaa3",
+            "--no-cache",
+            "--trace-out",
+            str(trace_file),
+        ]
+    )
+    output = capsys.readouterr().out
+    return code, trace_file, output
+
+
+class TestMapTraceOut:
+    def test_map_writes_a_readable_trace(self, tmp_path, capsys):
+        code, trace_file, output = run_map_with_trace(tmp_path, capsys)
+        assert code == 0
+        assert "trace        :" in output
+        metas, spans, counters = read_trace(trace_file)
+        assert metas[0]["tool"] == "repro-map map"
+        names = {span.name for span in spans}
+        assert {"compile", "load", "place", "route", "validate", "metrics"} <= names
+        assert "kernel.cost_evaluations" in counters
+        assert counters["kernel.swaps_applied"] >= 0
+
+    def test_map_without_trace_out_writes_nothing(self, tmp_path, capsys):
+        code = main(["map", "--generate", "ghz:6", "--backend", "ankaa3"])
+        assert code == 0
+        assert "trace        :" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTraceSummarize:
+    def test_summarize_renders_the_breakdown(self, tmp_path, capsys):
+        _, trace_file, _ = run_map_with_trace(tmp_path, capsys)
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        assert "per-phase:" in output
+        assert "route pass per router:" in output
+        assert "qlosure" in output
+        assert "kernel.cost_evaluations" in output
+
+    def test_summarize_missing_file_is_a_user_error(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "repro-map: error:" in capsys.readouterr().err
+
+    def test_summarize_malformed_file_names_the_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"\n')
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert ":1:" in capsys.readouterr().err
+
+
+class TestTraceChrome:
+    def test_chrome_export_defaults_next_to_the_input(self, tmp_path, capsys):
+        _, trace_file, _ = run_map_with_trace(tmp_path, capsys)
+        assert main(["trace", "chrome", str(trace_file)]) == 0
+        output = capsys.readouterr().out
+        assert "Perfetto" in output
+        exported = trace_file.with_suffix(".chrome.json")
+        assert exported.exists()
+        trace = json.loads(exported.read_text())
+        assert trace["traceEvents"]
+        assert all(event["ph"] == "X" for event in trace["traceEvents"])
+
+    def test_chrome_export_honours_explicit_output(self, tmp_path, capsys):
+        _, trace_file, _ = run_map_with_trace(tmp_path, capsys)
+        target = tmp_path / "custom.json"
+        assert main(["trace", "chrome", str(trace_file), "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert json.loads(target.read_text())["traceEvents"]

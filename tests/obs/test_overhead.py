@@ -1,0 +1,63 @@
+"""Perf gate: the disabled tracer must be free on the compile hot path.
+
+Tracing is on by default in the sense that every pass and the routing
+kernel *call into* the tracer unconditionally -- the null tracer makes
+those calls no-ops.  This gate pins that claim: compiling through the
+shipped instrumentation (real ``current_tracer`` lookups, shared null
+span) must cost **<2%** versus an in-process baseline where the tracer
+lookups are short-circuited to a pre-bound stub.
+
+Methodology (timing tests are noise-prone, so the design is defensive):
+
+* one warmup compile before any measurement (imports, caches, allocator),
+* baseline/no-op rounds are *interleaved* so drift (thermal, other load)
+  hits both sides equally,
+* min-of-rounds is compared, not means -- the minimum is the best
+  estimate of the true cost, discarding scheduler hiccups,
+* a 2ms absolute epsilon absorbs timer granularity on sub-100ms runs.
+"""
+
+import time
+
+import pytest
+
+import repro.api.cache as cache_module
+import repro.api.pipeline as pipeline_module
+import repro.routing.engine as engine_module
+from repro.api import CompileRequest, compile as api_compile
+from repro.hardware.topologies import grid_topology
+from repro.obs.trace import NULL_TRACER
+
+ROUNDS = 5
+GRID = grid_topology(4, 4)
+REQUEST = CompileRequest(generate="qft:7", backend=GRID, router="qlosure", seed=0)
+
+
+def one_compile_seconds() -> float:
+    start = time.perf_counter()
+    api_compile(REQUEST, cache=False)
+    return time.perf_counter() - start
+
+
+class TestNoopTracerOverhead:
+    def test_disabled_tracer_costs_under_two_percent(self):
+        one_compile_seconds()  # warmup
+        stub = lambda: NULL_TRACER  # noqa: E731 -- pre-bound, zero lookup work
+        baseline, noop = [], []
+        for _ in range(ROUNDS):
+            with pytest.MonkeyPatch.context() as patch:
+                for module in (pipeline_module, engine_module, cache_module):
+                    patch.setattr(module, "current_tracer", stub)
+                baseline.append(one_compile_seconds())
+            noop.append(one_compile_seconds())
+        min_baseline, min_noop = min(baseline), min(noop)
+        assert min_noop <= min_baseline * 1.02 + 0.002, (
+            f"no-op tracer overhead gate: {min_noop:.4f}s traced-path vs "
+            f"{min_baseline:.4f}s stubbed baseline "
+            f"({(min_noop / min_baseline - 1) * 100:+.1f}%)"
+        )
+
+    def test_null_tracer_allocates_no_spans_during_compile(self):
+        api_compile(REQUEST, cache=False)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.counters == {}

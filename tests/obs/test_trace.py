@@ -1,0 +1,204 @@
+"""Tests for the core tracing primitives (:mod:`repro.obs.trace`)."""
+
+import pickle
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    current_tracer,
+    new_trace_id,
+    use_tracer,
+)
+
+
+class TestSpanRecording:
+    def test_span_records_name_timing_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", router="qlosure") as span:
+            span.set("swaps", 3)
+        assert len(tracer.spans) == 1
+        recorded = tracer.spans[0]
+        assert recorded.name == "work"
+        assert recorded.attributes == {"router": "qlosure", "swaps": 3}
+        assert recorded.duration >= 0.0
+        assert recorded.trace_id == tracer.trace_id
+
+    def test_nested_spans_parent_correctly(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # inner closes (and records) first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_current_returns_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer.span
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner.span
+            assert tracer.current() is outer.span
+        assert tracer.current() is None
+
+    def test_escaping_exception_stamps_error_attribute(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.spans[0].attributes["error"] == "ValueError"
+
+    def test_span_ids_are_unique_and_pid_prefixed(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = {span.span_id for span in tracer.spans}
+        assert len(ids) == 2
+        pids = {span.pid for span in tracer.spans}
+        assert len(pids) == 1
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.count("cache.misses")
+        tracer.count("cache.misses", 2)
+        tracer.count("kernel.cost_evaluations", 10)
+        assert tracer.counters == {"cache.misses": 3, "kernel.cost_evaluations": 10}
+
+    def test_span_record_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("pass", router="greedy"):
+            pass
+        record = tracer.spans[0].to_record()
+        assert record["type"] == "span"
+        rebuilt = Span.from_record(record)
+        assert rebuilt.name == "pass"
+        assert rebuilt.attributes == {"router": "greedy"}
+        assert rebuilt.trace_id == tracer.trace_id
+
+
+class TestTraceIds:
+    def test_new_trace_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_explicit_trace_id_is_used(self):
+        tracer = Tracer(trace_id="abc-123")
+        with tracer.span("x"):
+            pass
+        assert tracer.spans[0].trace_id == "abc-123"
+
+    def test_trace_id_and_context_are_mutually_exclusive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Tracer(trace_id="a", context=TraceContext(trace_id="b"))
+
+
+class TestPropagation:
+    def test_context_names_the_open_span_as_parent(self):
+        tracer = Tracer()
+        with tracer.span("batch") as batch:
+            ctx = tracer.context()
+        assert ctx.trace_id == tracer.trace_id
+        assert ctx.parent_span_id == batch.span.span_id
+
+    def test_child_tracer_spans_parent_under_the_context(self):
+        parent = Tracer()
+        with parent.span("batch"):
+            ctx = parent.context()
+        child = Tracer(context=ctx)
+        with child.span("request"):
+            pass
+        assert child.trace_id == parent.trace_id
+        assert child.spans[0].parent_id == ctx.parent_span_id
+
+    def test_context_and_spans_are_picklable(self):
+        tracer = Tracer()
+        with tracer.span("batch"):
+            ctx = tracer.context()
+        blob = pickle.dumps((ctx, tracer.spans))
+        ctx2, spans2 = pickle.loads(blob)
+        assert ctx2 == ctx
+        assert spans2[0].name == "batch"
+
+    def test_extend_folds_spans_and_counters(self):
+        parent = Tracer()
+        child = Tracer(context=parent.context())
+        with child.span("request"):
+            pass
+        child.count("cache.misses", 2)
+        parent.extend(child.spans, child.counters)
+        assert [span.name for span in parent.spans] == ["request"]
+        assert parent.counters == {"cache.misses": 2}
+
+
+class TestInstallation:
+    def test_default_is_the_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert current_tracer().enabled is False
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_nests(self):
+        a, b = Tracer(), Tracer()
+        with use_tracer(a):
+            with use_tracer(b):
+                assert current_tracer() is b
+            assert current_tracer() is a
+
+    def test_installation_is_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def observe():
+            seen["other"] = current_tracer()
+
+        with use_tracer(tracer):
+            thread = threading.Thread(target=observe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is NULL_TRACER
+
+    def test_threads_record_into_one_shared_tracer(self):
+        tracer = Tracer()
+
+        def work(n):
+            with use_tracer(tracer):
+                with tracer.span("job", n=n):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.spans) == 4
+        assert all(span.parent_id is None for span in tracer.spans)
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        null = NullTracer()
+        with null.span("anything", x=1) as span:
+            span.set("y", 2)
+        null.count("c")
+        assert null.spans == []
+        assert null.counters == {}
+        assert null.current() is None
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -1,0 +1,123 @@
+"""Tests for the trace exporters (:mod:`repro.obs.export`)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TraceFileError,
+    append_trace,
+    read_trace,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.trace import Span, Tracer
+
+
+def small_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("compile"):
+        with tracer.span("route", router="qlosure"):
+            pass
+    tracer.count("kernel.cost_evaluations", 42)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_recovers_spans_and_counters(self, tmp_path):
+        tracer = small_trace()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace(path, tracer, meta={"tool": "test"})
+        assert count == 2
+        metas, spans, counters = read_trace(path)
+        assert metas[0]["tool"] == "test"
+        assert sorted(span.name for span in spans) == ["compile", "route"]
+        assert counters == {"kernel.cost_evaluations": 42}
+
+    def test_every_line_is_self_describing_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, small_trace(), meta={"tool": "test"})
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["type"] in ("meta", "span", "counters")
+
+    def test_append_accumulates_multiple_traces(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        append_trace(path, small_trace())
+        append_trace(path, small_trace())
+        _, spans, counters = read_trace(path)
+        assert len(spans) == 4
+        assert len({span.trace_id for span in spans}) == 2
+        # counters from both traces merge additively
+        assert counters == {"kernel.cost_evaluations": 84}
+
+    def test_missing_file_raises_trace_file_error(self, tmp_path):
+        with pytest.raises(TraceFileError):
+            read_trace(tmp_path / "nope.jsonl")
+
+    def test_malformed_json_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(TraceFileError, match=":2:"):
+            read_trace(path)
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(TraceFileError, match="mystery"):
+            read_trace(path)
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self):
+        tracer = small_trace()
+        trace = to_chrome_trace(tracer.spans, tracer.counters)
+        assert set(trace) >= {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+        route = next(e for e in events if e["name"] == "route")
+        assert route["args"]["router"] == "qlosure"
+        assert "trace_id" in route["args"]
+
+    def test_timestamps_normalise_per_process(self):
+        spans = [
+            Span("a", "t", "1.1", start=100.0, duration=1.0, pid=1),
+            Span("b", "t", "2.1", start=5000.0, duration=1.0, pid=2),
+        ]
+        events = to_chrome_trace(spans)["traceEvents"]
+        # each process lane starts at zero, not at its absolute monotonic stamp
+        assert [event["ts"] for event in events] == [0.0, 0.0]
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        tracer = small_trace()
+        path = tmp_path / "trace.chrome.json"
+        events = write_chrome_trace(path, tracer.spans, tracer.counters)
+        assert events == 2
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 2
+        assert loaded["otherData"]["counters"] == {"kernel.cost_evaluations": 42}
+
+
+class TestSummarize:
+    def test_per_phase_and_per_router_tables(self):
+        tracer = small_trace()
+        text = summarize(tracer.spans, tracer.counters)
+        assert "per-phase:" in text
+        assert "compile" in text
+        assert "route pass per router:" in text
+        assert "qlosure" in text
+        assert "kernel.cost_evaluations" in text
+
+    def test_empty_trace_summarises_gracefully(self):
+        assert "empty trace" in summarize([], {})
+
+    def test_counters_only_trace(self):
+        text = summarize([], {"cache.misses": 3})
+        assert "cache.misses" in text
